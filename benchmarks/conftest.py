@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure and writes its
+rendered output to ``results/<artifact>.txt`` so the numbers behind
+EXPERIMENTS.md are reproducible artifacts.  Generation-heavy benches run
+one round (``pedantic``); analytic benches benchmark normally.
+
+Set ``REPRO_SCALE=full`` for paper-scale runs (slower).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Write an ExperimentResult's rendering to results/<slug>.txt."""
+
+    def _record(result, slug: str) -> None:
+        path = results_dir / f"{slug}.txt"
+        path.write_text(result.render() + "\n")
+
+    return _record

@@ -1,0 +1,85 @@
+"""Benchmarks: ablations of DESIGN.md's modelled design choices."""
+
+import numpy as np
+
+from repro.experiments import ablations
+from repro.experiments.common import functional_model
+from repro.model.tokenizer import SyntheticTokenizer
+
+
+def _retrieval_set(n=12, seed=77, depth=64, gap=150, tail=360, ans_len=8):
+    """Deep-tail contested prompts for the accuracy ablations.
+
+    Answer and decoy permute a *shared* pool so every chain step is
+    contested, and the decoy gap keeps the recency margin small enough
+    that 2-bit quantization noise matters.
+    """
+    tok = SyntheticTokenizer()
+    sp = tok.special
+    rng = np.random.default_rng(seed)
+    content = tok.content_ids
+    fa, ra = content[: len(content) // 2], content[len(content) // 2:]
+    prompts, answers = [], []
+    for _ in range(n):
+        key = int(rng.choice(ra))
+        pool = [int(x) for x in rng.choice(
+            [c for c in ra if c != key], size=ans_len + 2, replace=False
+        )]
+        ans = [int(x) for x in rng.permutation(pool)[:ans_len]]
+        dec = [int(x) for x in rng.permutation(pool)[:ans_len]]
+        p = (
+            [sp.bos]
+            + [int(x) for x in rng.choice(fa, size=depth)]
+            + [sp.q, key] + dec + [sp.sep]
+            + [int(x) for x in rng.choice(fa, size=gap)]
+            + [sp.q, key] + ans + [sp.sep]
+            + [int(x) for x in rng.choice(fa, size=tail)]
+            + [sp.q, key]
+        )
+        prompts.append(p)
+        answers.append(ans)
+    return prompts, answers
+
+
+def test_ablation_attention(benchmark, record_result):
+    res = benchmark(ablations.flash_vs_naive)
+    record_result(res, "ablation_flash_vs_naive")
+
+
+def test_ablation_residual_window(benchmark, record_result):
+    # short tail: the answer record sits inside a 128-token residual
+    # window, so the window's protection is what is being measured
+    prompts, answers = _retrieval_set(tail=100)
+    res = benchmark.pedantic(
+        lambda: ablations.residual_window(prompts, answers),
+        rounds=1, iterations=1,
+    )
+    record_result(res, "ablation_residual_window")
+    f1s = [float(r[1]) for r in res.data["rows"]]
+    assert f1s[-1] >= f1s[0] - 0.15  # larger window in the same ballpark
+
+
+def test_ablation_gear(benchmark, record_result):
+    prompts, answers = _retrieval_set(seed=78)
+    res = benchmark.pedantic(
+        lambda: ablations.gear_rank_sweep(prompts, answers),
+        rounds=1, iterations=1,
+    )
+    record_result(res, "ablation_gear")
+    rows = res.data["rows"]
+    none, full = float(rows[0][2]), float(rows[-1][2])
+    assert full >= none - 0.05  # error correction never much worse
+
+
+def test_ablation_eviction(benchmark, record_result):
+    prompts, answers = _retrieval_set(seed=79)
+    res = benchmark.pedantic(
+        lambda: ablations.budget_split(prompts, answers),
+        rounds=1, iterations=1,
+    )
+    record_result(res, "ablation_eviction")
+
+
+def test_ablation_paged(benchmark, record_result):
+    res = benchmark(ablations.paged_block_size)
+    record_result(res, "ablation_paged")

@@ -1,0 +1,17 @@
+"""Benchmark: appendix Table 9 + Figures 15-16 (Mistral length suite)."""
+
+from repro.core.config import current_scale
+from repro.experiments import appendix
+
+
+def test_mistral_length_suite(benchmark, record_result):
+    results = benchmark.pedantic(
+        lambda: appendix.mistral_length_suite(current_scale()),
+        rounds=1, iterations=1,
+    )
+    for res, slug in zip(
+        results, ("table9_mistral_lengths", "fig15_mistral_dist",
+                  "fig16_mistral_cdf"),
+    ):
+        record_result(res, slug)
+    assert len(results) == 3

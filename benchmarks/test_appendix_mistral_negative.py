@@ -1,0 +1,17 @@
+"""Benchmark: appendix Figs 17-18 + Tables 10-11 (Mistral negatives)."""
+
+from repro.core.config import current_scale
+from repro.experiments import appendix
+
+
+def test_mistral_negative_suite(benchmark, record_result):
+    results = benchmark.pedantic(
+        lambda: appendix.mistral_negative_suite(current_scale()),
+        rounds=1, iterations=1,
+    )
+    for res, slug in zip(
+        results, ("fig17_mistral_negatives", "fig18_mistral_tasks",
+                  "table10_mistral_predictors", "table11_mistral_bench"),
+    ):
+        record_result(res, slug)
+    assert len(results) == 4

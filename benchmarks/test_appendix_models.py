@@ -1,0 +1,26 @@
+"""Benchmarks: appendix Figures 8-10 (Mistral-7B, SnapKV, LLaMA-13B)."""
+
+from repro.experiments import appendix
+
+
+def test_fig8_mistral(benchmark, record_result):
+    res = benchmark(appendix.fig8_mistral)
+    record_result(res, "fig8_mistral_throughput")
+    grid = res.data["decode_grid"]
+    assert grid["fp16"][(4, 1024)] > 0
+
+
+def test_fig9_snapkv(benchmark, record_result):
+    res = benchmark(appendix.fig9_snapkv)
+    record_result(res, "fig9_snapkv")
+    grid = res.data["prefill_grid"]
+    # SnapKV's window scoring is far cheaper than H2O's full pass
+    assert grid["snapkv-512"][(4, 2048)] > grid["h2o-512"][(4, 2048)]
+
+
+def test_fig10_llama13b(benchmark, record_result):
+    res = benchmark(appendix.fig10_llama13b)
+    record_result(res, "fig10_llama13b")
+    decode = res.data["decode_grid"]
+    # the appendix notes KIVI OOM on 13B/single A6000 at heavy settings
+    assert any(v == 0.0 for v in decode["kivi-4"].values())

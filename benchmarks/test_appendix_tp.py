@@ -1,0 +1,10 @@
+"""Benchmark: appendix Figures 11-14 (TP sweeps across architectures)."""
+
+from repro.experiments import appendix
+
+
+def test_tp_sweeps(benchmark, record_result):
+    res = benchmark(appendix.tp_sweeps)
+    record_result(res, "fig11_14_tp_sweeps")
+    data = res.data["llama-7b/decode"]
+    assert data[4]["fp16"] > data[1]["fp16"]

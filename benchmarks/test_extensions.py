@@ -1,0 +1,49 @@
+"""Benchmark: survey-extension algorithms through the whole stack."""
+
+from repro.analysis.reporting import format_table
+from repro.compression import EXTENSION_ALGORITHMS
+from repro.experiments.common import (
+    ExperimentResult,
+    comp_spec,
+    cost_model,
+)
+
+
+def extension_throughput():
+    """Decode/prefill speedups of the extension algorithms."""
+    res = ExperimentResult(
+        name="Extensions — survey algorithms, throughput view",
+        description=(
+            "TOVA, PyramidKV, KVQuant-style and Q-Hitter on the same "
+            "cost model as the paper's four (LLaMA-7B, A6000, LMDeploy)."
+        ),
+    )
+    m = cost_model()
+    fp16 = comp_spec("fp16")
+    rows = []
+    for algo in ("fp16",) + EXTENSION_ALGORITHMS:
+        spec = comp_spec(algo)
+        pf = m.prefill_throughput(4, 2048, spec)
+        dc = m.decode_throughput(8, 4096, spec)
+        rows.append([
+            algo,
+            f"{pf:.0f}",
+            f"{pf / m.prefill_throughput(4, 2048, fp16):.2f}x",
+            f"{dc:.0f}",
+            f"{dc / m.decode_throughput(8, 4096, fp16):.2f}x",
+        ])
+        res.data[algo] = {"prefill": pf, "decode": dc}
+    res.tables.append(
+        format_table(
+            ["algo", "prefill tok/s", "vs fp16", "decode tok/s", "vs fp16"],
+            rows,
+        )
+    )
+    return res
+
+
+def test_extensions_throughput(benchmark, record_result):
+    res = benchmark(extension_throughput)
+    record_result(res, "extensions_throughput")
+    # hybrids get the sparse decode win
+    assert res.data["qhitter-4"]["decode"] > res.data["fp16"]["decode"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 1 (LLaMA-7B throughput analysis)."""
+
+from repro.experiments import fig1_throughput
+
+
+def test_fig1_throughput(benchmark, record_result):
+    res = benchmark(fig1_throughput.run)
+    record_result(res, "fig1_throughput")
+    # shape assertions: engine ordering and OOM structure
+    series = res.data["fp16_decode_kv2048"]
+    assert series["lmdeploy"][1] > series["trl"][1]
+    decode = res.data["decode_grid"]
+    assert any(v == 0.0 for v in decode["kivi-4"].values())

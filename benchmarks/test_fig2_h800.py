@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 2 (LLaMA-70B on H800, TP=4)."""
+
+from repro.experiments import fig2_h800
+
+
+def test_fig2_h800(benchmark, record_result):
+    res = benchmark(fig2_h800.run)
+    record_result(res, "fig2_h800")
+    grid = res.data["decode_grid"]
+    assert grid["fp16"][(4, 2048)] > 0

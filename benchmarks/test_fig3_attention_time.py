@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 3 (attention-layer execution time)."""
+
+from repro.experiments import fig3_attention_time
+
+
+def test_fig3_attention_time(benchmark, record_result):
+    res = benchmark(fig3_attention_time.run)
+    record_result(res, "fig3_attention_time")
+    decode = res.data["decode"]
+    # sparse methods' decode attention time saturates once the KV length
+    # exceeds the budget (Fig. 3b): compare 1024 vs 8192
+    assert decode["h2o-512"][-1] < 1.3 * decode["h2o-512"][2]
+    # GEAR/H2O pay extra in prefill (Fig. 3a)
+    prefill = res.data["prefill"]
+    assert prefill["h2o-512"][-1] > prefill["fp16"][-1]

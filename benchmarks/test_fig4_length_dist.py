@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 4 (length-difference distributions)."""
+
+import numpy as np
+
+from repro.core.config import current_scale
+from repro.experiments import fig4_length_dist
+
+
+def test_fig4_length_dist(benchmark, record_result):
+    res = benchmark.pedantic(
+        lambda: fig4_length_dist.run(current_scale()), rounds=1, iterations=1
+    )
+    record_result(res, "fig4_length_dist")
+    kivi = res.data["d"]["kivi"]
+    # Observation 3: higher compression flattens the distribution
+    from repro.analysis import flatness
+
+    assert flatness(kivi["kivi-2"]) > flatness(kivi["kivi-8"])

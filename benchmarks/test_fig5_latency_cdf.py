@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 5 (end-to-end latency CDFs)."""
+
+import numpy as np
+
+from repro.core.config import current_scale
+from repro.experiments import fig5_latency_cdf
+
+
+def test_fig5_latency_cdf(benchmark, record_result):
+    res = benchmark.pedantic(
+        lambda: fig5_latency_cdf.run(current_scale()), rounds=1, iterations=1
+    )
+    record_result(res, "fig5_latency_cdf")
+    lats = res.data["latencies"]
+    # Observation 4: compression's E2E gains are modest at batch one
+    assert np.mean(lats["stream-512"]) < 1.5 * np.mean(lats["fp16"])

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 6 (negative samples vs threshold)."""
+
+from repro.core.config import current_scale
+from repro.experiments import fig6_negative_threshold
+
+
+def test_fig6_negative_threshold(benchmark, record_result):
+    res = benchmark.pedantic(
+        lambda: fig6_negative_threshold.run(current_scale()),
+        rounds=1, iterations=1,
+    )
+    record_result(res, "fig6_negative_threshold")
+    counts = res.data["counts"]
+    # Observation 5: combining algorithms reduces but rarely eliminates
+    assert counts["Sparse (C)"][1] <= min(counts["H2O"][1], counts["Stream"][1])
+    assert counts["Sparse (C)"][1] >= 0
+    for series in counts.values():
+        assert all(a >= b for a, b in zip(series, series[1:]))

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7 (negative samples by task type)."""
+
+from repro.core.config import current_scale
+from repro.experiments import fig7_negative_tasks
+
+
+def test_fig7_negative_tasks(benchmark, record_result):
+    res = benchmark.pedantic(
+        lambda: fig7_negative_tasks.run(current_scale()),
+        rounds=1, iterations=1,
+    )
+    record_result(res, "fig7_negative_tasks")
+    breakdown = res.data["breakdown"]
+    # Observation 6: sparse negatives concentrate on QA/summarization
+    sparse = breakdown["stream-512"]
+    qa_sum = sum(
+        sparse.get(t, 0)
+        for t in ("qa_single", "qa_multi", "summarization", "synthetic")
+    )
+    assert qa_sum >= sparse.get("code", 0)

@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the NumPy kernels (pytest-benchmark timings)."""
+
+import numpy as np
+
+from repro.compression.quant.codec import (
+    quant_dequant_per_channel,
+    quant_dequant_per_token,
+)
+from repro.model.attention import HeadBias, flash_attention, naive_attention
+
+
+def _qkv(n=1024, b=8, h=4, dh=64, seed=0):
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(b, h, 1, dh)).astype(np.float32)
+    k = rng.normal(size=(b, h, n, dh)).astype(np.float32)
+    v = rng.normal(size=(b, h, n, dh)).astype(np.float32)
+    return q, k, v
+
+
+def test_bench_naive_attention_decode(benchmark):
+    q, k, v = _qkv()
+    q_pos, k_pos = np.array([1023]), np.arange(1024)
+    biases = [HeadBias("none", 0)] * 4
+    benchmark(lambda: naive_attention(q, k, v, q_pos, k_pos, biases))
+
+
+def test_bench_flash_attention_decode(benchmark):
+    q, k, v = _qkv()
+    q_pos, k_pos = np.array([1023]), np.arange(1024)
+    biases = [HeadBias("none", 0)] * 4
+    benchmark(lambda: flash_attention(q, k, v, q_pos, k_pos, biases))
+
+
+def test_bench_key_codec(benchmark):
+    x = np.random.default_rng(0).normal(size=(8, 4, 12, 32, 64))
+    benchmark(lambda: quant_dequant_per_channel(x, 4))
+
+
+def test_bench_value_codec(benchmark):
+    x = np.random.default_rng(0).normal(size=(8, 4, 384, 64))
+    benchmark(lambda: quant_dequant_per_token(x, 4, 32))
+
+
+def test_bench_decode_step(benchmark):
+    """Wall-clock of one functional-model decode step, batch 16."""
+    from repro.experiments.common import functional_model
+    from repro.model.generate import left_pad
+
+    model = functional_model("llama")
+    tok = model.tokenizer
+    rng = np.random.default_rng(1)
+    prompts = [
+        [tok.special.bos]
+        + [int(x) for x in rng.choice(tok.content_ids, size=512)]
+        for _ in range(16)
+    ]
+    tokens, starts = left_pad(prompts, tok.special.pad)
+    cache = model.new_cache(16, starts)
+    model.prefill(tokens, cache, None)
+    ids = np.full(16, tok.content_ids[0])
+    benchmark(lambda: model.decode_step(ids, cache, None))

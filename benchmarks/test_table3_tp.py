@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 3 (tensor-parallel relative speedups)."""
+
+from repro.experiments import table3_tp
+
+
+def test_table3_tp(benchmark, record_result):
+    res = benchmark(table3_tp.run)
+    record_result(res, "table3_tp")
+    decode = res.data["decode"]
+    # TP shrinks the relative decode speedup of every algorithm
+    for algo in ("kivi-4", "gear-4", "h2o-512", "stream-512"):
+        assert decode[1][algo] > decode[4][algo]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 4 (semantic score vs length increase)."""
+
+from repro.core.config import current_scale
+from repro.experiments import table4_semantic
+
+
+def test_table4_semantic(benchmark, record_result):
+    res = benchmark.pedantic(
+        lambda: table4_semantic.run(current_scale()), rounds=1, iterations=1
+    )
+    record_result(res, "table4_semantic")
+    table = res.data["table"]
+    for algo, row in table.items():
+        if algo != "fp16" and row["n"] > 0:
+            assert row["length_increase"] >= 1.0  # longer by construction

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 5 (length-variation ratios)."""
+
+from repro.core.config import current_scale
+from repro.experiments import table5_length_ratio
+
+
+def test_table5_length_ratio(benchmark, record_result):
+    res = benchmark.pedantic(
+        lambda: table5_length_ratio.run(current_scale()),
+        rounds=1, iterations=1,
+    )
+    record_result(res, "table5_length_ratio")
+    ratios = res.data["ratios"]
+    assert set(ratios) >= {"T=0.9", "T=1.1", "kivi-4", "stream-512"}

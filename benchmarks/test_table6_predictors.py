@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 6 (tool prediction accuracies)."""
+
+from repro.core.config import current_scale
+from repro.experiments import table6_predictors
+
+
+def test_table6_predictors(benchmark, record_result):
+    res = benchmark.pedantic(
+        lambda: table6_predictors.run(current_scale()), rounds=1, iterations=1
+    )
+    record_result(res, "table6_predictors")
+    thr = res.data["throughput"]
+    assert all(v > 0.75 for v in thr.values())
+    lng = res.data["length"]
+    assert all(v > 0.3 for v in lng.values())

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 7 (scores on the negative benchmark)."""
+
+from repro.core.config import current_scale
+from repro.experiments import table7_negative_bench
+
+
+def test_table7_negative_bench(benchmark, record_result):
+    res = benchmark.pedantic(
+        lambda: table7_negative_bench.run(current_scale()),
+        rounds=1, iterations=1,
+    )
+    record_result(res, "table7_negative_bench")
+    scores = res.data["scores"]
+    # on the negative benchmark every algorithm drops below baseline
+    for group, row in scores.items():
+        algo_scores = [v for k, v in row.items() if k != "baseline"]
+        if algo_scores:
+            assert min(algo_scores) <= row["baseline"] + 1e-9

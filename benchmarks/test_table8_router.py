@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 8 (predictor-guided request routing)."""
+
+from repro.core.config import current_scale
+from repro.experiments import table8_router
+
+
+def test_table8_router(benchmark, record_result):
+    res = benchmark.pedantic(
+        lambda: table8_router.run(current_scale()), rounds=1, iterations=1
+    )
+    record_result(res, "table8_router")
+    table = res.data["table"]
+    # combined routing should not lose to the homogeneous baseline
+    for algo in ("kivi-4", "stream-512"):
+        assert table["w/ Both"][algo] <= 1.35 * table["Baseline"][algo]

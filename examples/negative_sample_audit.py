@@ -1,0 +1,92 @@
+"""Negative-sample audit: find where compression silently fails.
+
+Implements the paper's recommended pre-deployment audit (Section 5.3):
+evaluate candidate compression configurations per-sample, collect the
+negative samples at a chosen threshold, break them down by task type,
+and emit the benchmark subset a team should track in CI.
+
+Usage::
+
+    python examples/negative_sample_audit.py [n_per_task] [theta]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.evaluation import evaluate_suite, mean_score
+from repro.datasets import LongBenchSim, TASK_GROUPS
+from repro.experiments.common import functional_model
+from repro.tools.negative_sampler import NegativeSampleAnalysis, ScoredSample
+
+ALGOS = ("kivi-4", "gear-4", "h2o-512", "stream-512")
+
+
+def main() -> None:
+    n_per_task = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    theta = float(sys.argv[2]) if len(sys.argv) > 2 else 0.10
+
+    model = functional_model("llama")
+    samples = LongBenchSim(
+        seed=17, min_context=500, max_context=1600
+    ).build(n_per_task)
+    by_id = {s.sample_id: s for s in samples}
+    print(f"evaluating {len(samples)} samples x {1 + len(ALGOS)} configs ...")
+    results = evaluate_suite(
+        model, samples, ("fp16",) + ALGOS, batch_size=16, max_new_tokens=24
+    )
+
+    print("\noverall scores (x100) — the numbers papers usually report:")
+    for algo, records in results.items():
+        print(f"  {algo:11s} {100 * mean_score(records):5.1f}")
+
+    analysis = NegativeSampleAnalysis(
+        {
+            r.sample_id: ScoredSample(r.sample_id, r.task, r.score)
+            for r in results["fp16"]
+        },
+        {
+            algo: {
+                r.sample_id: ScoredSample(r.sample_id, r.task, r.score)
+                for r in records
+            }
+            for algo, records in results.items()
+            if algo != "fp16"
+        },
+    )
+
+    print(f"\nnegative samples at theta={theta:.0%} "
+          f"({len(analysis.benign_ids)} benign samples):")
+    for algo in ALGOS:
+        negatives = analysis.negatives([algo], theta)
+        by_task = analysis.counts_by_task([algo], theta)
+        tasks = ", ".join(f"{t}:{c}" for t, c in sorted(by_task.items()))
+        print(f"  {algo:11s} {len(negatives):3d} negatives  ({tasks})")
+
+    both_q = analysis.negatives(["kivi-4", "gear-4"], theta)
+    both_s = analysis.negatives(["h2o-512", "stream-512"], theta)
+    print(f"  Quant (C)   {len(both_q):3d} negatives (fail under BOTH quantizers)")
+    print(f"  Sparse (C)  {len(both_s):3d} negatives (fail under BOTH sparse)")
+
+    bench = analysis.benchmark_ids(ALGOS, theta)
+    print(f"\nbenchmark subset: {len(bench)} samples; scores on it (x100):")
+    table = analysis.scores_on(bench, TASK_GROUPS)
+    for group, row in sorted(table.items()):
+        cells = "  ".join(f"{k}={v:5.1f}" for k, v in row.items())
+        print(f"  {group:20s} {cells}")
+
+    print("\nworst individual failures (baseline vs most-degraded algo):")
+    shown = 0
+    for sid in bench:
+        base = analysis.baseline[sid].score
+        worst_algo = min(ALGOS, key=lambda a: analysis.by_algo[a][sid].score)
+        worst = analysis.by_algo[worst_algo][sid].score
+        if base - worst > 0.5 and shown < 5:
+            s = by_id[sid]
+            print(f"  {sid:18s} task={s.task:13s} "
+                  f"baseline={base:.2f} {worst_algo}={worst:.2f}")
+            shown += 1
+
+
+if __name__ == "__main__":
+    main()

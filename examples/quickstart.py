@@ -1,0 +1,88 @@
+"""Quickstart: generate under KV-cache compression and price the serving.
+
+Runs the same retrieval prompt through the FP16 baseline and the four
+compression algorithms the paper evaluates, then asks the cost model the
+deployment questions the paper says practitioners should ask *before*
+adopting compression: throughput at my batch/length, and where OOM hits.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CompressedGenerationPipeline
+from repro.compression import PAPER_ALGORITHMS
+from repro.model.sampling import Sampler
+
+
+def build_prompt(pipe, rng, depth=400, tail=600, answer_len=5):
+    """A long context with one buried key/value record + final question."""
+    tok = pipe.tokenizer
+    sp = tok.special
+    content = tok.content_ids
+    filler_alpha, record_alpha = content[: len(content) // 2], content[len(content) // 2 :]
+    key = int(rng.choice(record_alpha))
+    values = [int(v) for v in rng.choice(
+        [c for c in record_alpha if c != key], size=answer_len, replace=False
+    )]
+    prompt = (
+        [sp.bos]
+        + [int(x) for x in rng.choice(filler_alpha, size=depth)]
+        + [sp.q, key] + values + [sp.sep]
+        + [int(x) for x in rng.choice(filler_alpha, size=tail)]
+        + [sp.q, key]
+    )
+    return prompt, values
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    print("=" * 72)
+    print("1. Accuracy: retrieval from a long context under compression")
+    print("=" * 72)
+    baseline = CompressedGenerationPipeline("fp16")
+    prompt, answer = build_prompt(baseline, rng)
+    print(f"prompt: {len(prompt)} tokens; buried answer: {answer}")
+    for algo in ("fp16",) + PAPER_ALGORITHMS:
+        pipe = CompressedGenerationPipeline(algo)
+        out = pipe.generate([prompt], sampler=Sampler(greedy=True),
+                            max_new_tokens=12)
+        got = out.sequences[0]
+        verdict = "exact" if got == answer else "WRONG"
+        print(f"  {algo:11s} -> {got}  [{verdict}]  "
+              f"(retained KV/token: {out.retained_kv_tokens:.0f})")
+
+    print()
+    print("=" * 72)
+    print("2. Systems: what does serving this algorithm cost on an A6000?")
+    print("=" * 72)
+    header = f"  {'algo':11s} {'prefill tok/s':>14s} {'decode tok/s':>13s} {'max batch @4k':>14s}"
+    print(header)
+    for algo in ("fp16",) + PAPER_ALGORITHMS:
+        pipe = CompressedGenerationPipeline(algo, arch="llama-7b", gpu="a6000")
+        pf = pipe.prefill_throughput(batch=4, prompt_len=2048)
+        dc = pipe.decode_throughput(batch=8, kv_len=2048)
+        mb = pipe.max_batch(kv_len=4096)
+        print(f"  {algo:11s} {pf:14.0f} {dc:13.0f} {mb:14d}")
+
+    print()
+    print("=" * 72)
+    print("3. Memory: why quantized caches can OOM before FP16 (Fig. 1l)")
+    print("=" * 72)
+    for algo in ("fp16", "kivi-4"):
+        pipe = CompressedGenerationPipeline(algo)
+        est = pipe.estimate_serving(batch=6, prompt_len=8192)
+        mem = est.memory
+        status = "OOM" if not mem.fits else "fits"
+        print(f"  {algo:8s} peak {mem.peak_bytes / 2**30:5.1f} GiB "
+              f"(steady {mem.steady_bytes / 2**30:5.1f} GiB, transient "
+              f"FP16 copy {mem.kv_transient_fp16 / 2**30:4.1f} GiB) -> {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""Serving-gateway scenario: predictor-guided routing across a GPU fleet.
+
+Builds the paper's Section 5.4 deployment — four LLaMA-7B instances, one
+FP16 and three running StreamingLLM — then compares routing policies
+under a Poisson request stream:
+
+- load balancing (the baseline),
+- route by predicted decode throughput,
+- route by predicted response length,
+- route by predicted end-to-end latency (both predictors combined).
+
+Usage::
+
+    python examples/serving_gateway.py [n_requests] [rps]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.compression import NoCompression, create
+from repro.datasets import ShareGPTSim
+from repro.engines import LMDEPLOY, ServingCostModel
+from repro.experiments.common import functional_model
+from repro.hardware import A6000
+from repro.model.arch import LLAMA_7B
+from repro.model.builder import token_magnitudes
+from repro.model.generate import generate
+from repro.model.sampling import Sampler
+from repro.serving import RoutedRequest, Router, RoutingPolicy, ServerInstance
+from repro.tools.features import batch_features
+from repro.tools.length_predictor import train_per_algorithm
+from repro.tools.throughput_predictor import ThroughputPredictor
+
+ALGO = "stream-512"
+
+
+def measure_lengths(model, requests, algo, batch=16, max_new=48):
+    """True response lengths for each request under one algorithm."""
+    comp = None if algo == "fp16" else create(algo)
+    lengths = np.zeros(len(requests), dtype=int)
+    order = sorted(range(len(requests)), key=lambda i: requests[i].prompt_len)
+    sampler = Sampler(temperature=1.0, top_p=0.95, seed=7)
+    for s in range(0, len(order), batch):
+        idx = order[s : s + batch]
+        out = generate(
+            model, [requests[i].prompt for i in idx],
+            compressor=comp, sampler=sampler, max_new_tokens=max_new,
+        )
+        for k, i in enumerate(idx):
+            lengths[i] = max(1, int(out.response_lengths[k]))
+    return lengths
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    rps = float(sys.argv[2]) if len(sys.argv) > 2 else 10.0
+
+    model = functional_model("llama")
+    gen = ShareGPTSim(seed=11)
+    requests = gen.build(n)
+    arrivals = gen.arrival_times(n, rps)
+    print(f"workload: {n} requests at {rps} req/s "
+          f"(median prompt {int(np.median([r.prompt_len for r in requests]))} tokens)")
+
+    print("measuring true response lengths per algorithm ...")
+    lengths = {
+        a: measure_lengths(model, requests, a) for a in ("fp16", ALGO)
+    }
+
+    cm = ServingCostModel(LLAMA_7B, A6000, LMDEPLOY)
+    specs = {
+        "fp16": NoCompression().cost_spec(),
+        ALGO: create(ALGO).cost_spec(),
+    }
+    tp_pred = ThroughputPredictor(cm, specs).profile()
+    trained = train_per_algorithm(
+        [r.prompt for r in requests], lengths,
+        tokenizer=model.tokenizer,
+        token_stats=token_magnitudes(model.config),
+    )
+    feats = batch_features(
+        [r.prompt for r in requests], model.tokenizer,
+        token_magnitudes(model.config),
+    )
+    pred_len = {
+        a: trained[a]["predictor"].predict_length(feats)
+        for a in ("fp16", ALGO)
+    }
+    print("predictor accuracies: " + ", ".join(
+        f"{a}={100 * trained[a]['accuracy']:.0f}%" for a in trained
+    ))
+
+    routed = [
+        RoutedRequest(
+            request_id=r.request_id,
+            arrival=float(arrivals[i]),
+            prompt_len=r.prompt_len,
+            intended_len=r.intended_length,
+            lengths_by_algo={a: int(lengths[a][i]) for a in lengths},
+        )
+        for i, r in enumerate(requests)
+    ]
+    by_id = {r.request_id: i for i, r in enumerate(requests)}
+
+    def throughput_fn(algo, batch, kv):
+        return tp_pred.predict_decode_throughput(algo, max(1, batch), max(64, kv))
+
+    def length_fn(req, algo):
+        return float(pred_len[algo][by_id[req.request_id]])
+
+    def make_instances(algos):
+        return [ServerInstance(cm, specs[a]) for a in algos]
+
+    mixed = ["fp16", ALGO, ALGO, ALGO]
+    rows = []
+    baseline = Router(
+        make_instances([ALGO] * 4), [ALGO] * 4, RoutingPolicy.LOAD_BALANCE
+    ).serve(routed)
+    rows.append(("baseline (load balance)", baseline.mean_e2e()))
+    for label, policy in (
+        ("w/ throughput predictor", RoutingPolicy.THROUGHPUT),
+        ("w/ length predictor", RoutingPolicy.LENGTH),
+        ("w/ both", RoutingPolicy.BOTH),
+    ):
+        res = Router(
+            make_instances(mixed), mixed, policy,
+            throughput_fn=throughput_fn, length_fn=length_fn,
+        ).serve(routed)
+        rows.append((label, res.mean_e2e()))
+
+    print(f"\nmean end-to-end latency ({ALGO} fleet):")
+    base = rows[0][1]
+    for label, e2e in rows:
+        print(f"  {label:26s} {e2e:6.2f}s  ({base / e2e:.2f}x vs baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin shim so offline environments without the `wheel` package can
+`pip install -e .` via the legacy setuptools editable path."""
+from setuptools import setup
+
+setup()

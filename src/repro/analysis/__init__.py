@@ -1,0 +1,49 @@
+"""Analysis utilities: evaluation runner, length statistics, semantics."""
+
+from repro.analysis.evaluation import (
+    EvalRecord,
+    evaluate_algorithm,
+    evaluate_suite,
+    mean_score,
+    mean_score_by_task,
+)
+from repro.analysis.length_stats import (
+    VariationRatios,
+    d_histogram,
+    d_kde,
+    flatness,
+    length_difference,
+    verbose_fraction,
+)
+from repro.analysis.reporting import (
+    dict_rows,
+    format_series,
+    format_speedup,
+    format_table,
+)
+from repro.analysis.observations import (
+    ObservationCheck,
+    verify_all,
+)
+from repro.analysis.semantic import SemanticScorer
+
+__all__ = [
+    "EvalRecord",
+    "evaluate_algorithm",
+    "evaluate_suite",
+    "mean_score",
+    "mean_score_by_task",
+    "VariationRatios",
+    "d_histogram",
+    "d_kde",
+    "flatness",
+    "length_difference",
+    "verbose_fraction",
+    "dict_rows",
+    "format_series",
+    "format_speedup",
+    "format_table",
+    "ObservationCheck",
+    "verify_all",
+    "SemanticScorer",
+]

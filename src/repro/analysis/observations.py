@@ -1,0 +1,195 @@
+"""Programmatic checks of the paper's six Observations.
+
+Each check re-derives one of the paper's takeaways from this
+repository's own measurements and returns the evidence, so a user can
+ask "does the reproduction actually support the paper's claims?" with
+one call.  Observations 1-2 are analytic (cost model); 3-6 consume the
+shared generation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.analysis.length_stats import flatness, length_difference
+from repro.core.config import ExperimentScale, current_scale
+from repro.experiments.common import ALGOS, comp_spec, cost_model
+
+
+@dataclass
+class ObservationCheck:
+    """Outcome of one observation's verification."""
+
+    observation: int
+    claim: str
+    holds: bool
+    evidence: Dict[str, float]
+
+
+def check_observation_1() -> ObservationCheck:
+    """TRL exaggerates compression speedups vs production engines."""
+    stream = comp_spec("stream-512")
+    fp16 = comp_spec("fp16")
+    trl = cost_model(engine="trl")
+    lmd = cost_model(engine="lmdeploy")
+    b, n = 4, 4096
+    s_trl = trl.decode_throughput(b, n, stream) / trl.decode_throughput(b, n, fp16)
+    s_lmd = lmd.decode_throughput(b, n, stream) / lmd.decode_throughput(b, n, fp16)
+    return ObservationCheck(
+        observation=1,
+        claim="speedups measured on TRL exceed those on LMDeploy",
+        holds=s_trl > s_lmd,
+        evidence={"speedup_trl": s_trl, "speedup_lmdeploy": s_lmd},
+    )
+
+
+def check_observation_2() -> ObservationCheck:
+    """Compression can be net-negative at light settings, positive at
+    heavy ones."""
+    lmd = cost_model()
+    fp16 = comp_spec("fp16")
+    light, heavy = [], []
+    for algo in ALGOS:
+        spec = comp_spec(algo)
+        light.append(
+            lmd.decode_throughput(1, 256, spec)
+            / lmd.decode_throughput(1, 256, fp16)
+        )
+        heavy.append(
+            lmd.decode_throughput(8, 4096, spec)
+            / lmd.decode_throughput(8, 4096, fp16)
+        )
+    return ObservationCheck(
+        observation=2,
+        claim="no benefit at light KV, real benefit at heavy KV",
+        holds=max(light) < 1.05 and max(heavy) > 1.2,
+        evidence={
+            "max_speedup_light": max(light),
+            "max_speedup_heavy": max(heavy),
+        },
+    )
+
+
+def _length_runs(scale: ExperimentScale, model: str):
+    from repro.experiments.genruns import sharegpt_run
+
+    base = sharegpt_run(scale, "fp16", 1.0, model).lengths
+    return base, {
+        a: sharegpt_run(scale, a, 1.0, model).lengths for a in ALGOS
+    }
+
+
+def check_observation_3(
+    scale: ExperimentScale = None, model: str = "llama"
+) -> ObservationCheck:
+    """Compression skews the length distribution toward longer outputs,
+    more so at higher compression ratios."""
+    from repro.experiments.genruns import sharegpt_run
+
+    scale = scale or current_scale()
+    base, by_algo = _length_runs(scale, model)
+    mean_d = {
+        a: float(length_difference(base, lens).mean())
+        for a, lens in by_algo.items()
+    }
+    lo = sharegpt_run(scale, "kivi-4", 1.0, model).lengths
+    hi = sharegpt_run(scale, "kivi-2", 1.0, model).lengths
+    flat_lo = flatness(length_difference(base, lo))
+    flat_hi = flatness(length_difference(base, hi))
+    return ObservationCheck(
+        observation=3,
+        claim="compression lengthens outputs; higher ratios flatten D",
+        holds=min(mean_d.values()) < 0.02 and flat_hi >= flat_lo,
+        evidence={**{f"meanD_{a}": v for a, v in mean_d.items()},
+                  "flatness_kivi4": flat_lo, "flatness_kivi2": flat_hi},
+    )
+
+
+def check_observation_4(
+    scale: ExperimentScale = None, model: str = "llama"
+) -> ObservationCheck:
+    """End-to-end latency gains are modest once lengths are measured."""
+    from repro.experiments.fig5_latency_cdf import e2e_latencies
+
+    scale = scale or current_scale()
+    lats = e2e_latencies(scale, model)
+    base = float(np.mean(lats["fp16"]))
+    best = min(float(np.mean(lats[a])) for a in ALGOS)
+    return ObservationCheck(
+        observation=4,
+        claim="mean E2E speedup from compression stays below 1.5x",
+        holds=base / best < 1.5,
+        evidence={"fp16_mean_s": base, "best_algo_mean_s": best,
+                  "best_speedup": base / best},
+    )
+
+
+def check_observation_5(
+    scale: ExperimentScale = None, model: str = "llama"
+) -> ObservationCheck:
+    """Negative samples exist for every algorithm; combining shrinks
+    but does not erase them."""
+    from repro.experiments.fig6_negative_threshold import build_analysis
+
+    scale = scale or current_scale()
+    analysis = build_analysis(scale, model)
+    singles = {a: len(analysis.negatives([a], 0.10)) for a in ALGOS}
+    combined = len(analysis.negatives(list(ALGOS), 0.10))
+    return ObservationCheck(
+        observation=5,
+        claim="every algorithm has negatives; ensembles shrink the set",
+        holds=sum(v > 0 for v in singles.values()) >= 2
+        and combined <= min(singles.values()),
+        evidence={**{f"neg_{a}": float(v) for a, v in singles.items()},
+                  "neg_combined": float(combined)},
+    )
+
+
+def check_observation_6(
+    scale: ExperimentScale = None, model: str = "llama"
+) -> ObservationCheck:
+    """Fragility is task-unbalanced: QA/summarization suffer most."""
+    from repro.experiments.fig6_negative_threshold import build_analysis
+
+    scale = scale or current_scale()
+    analysis = build_analysis(scale, model)
+    fragile = 0
+    robust = 0
+    for a in ALGOS:
+        by_task = analysis.counts_by_task([a], 0.10)
+        fragile += sum(
+            by_task.get(t, 0)
+            for t in ("qa_single", "qa_multi", "summarization")
+        )
+        robust += by_task.get("fewshot", 0) + by_task.get("code", 0)
+    return ObservationCheck(
+        observation=6,
+        claim="QA + summarization collect more negatives than few-shot + code",
+        holds=fragile >= robust,
+        evidence={"qa_summ_negatives": float(fragile),
+                  "fewshot_code_negatives": float(robust)},
+    )
+
+
+ALL_CHECKS: List[Callable[..., ObservationCheck]] = [
+    check_observation_1,
+    check_observation_2,
+    check_observation_3,
+    check_observation_4,
+    check_observation_5,
+    check_observation_6,
+]
+
+
+def verify_all(
+    scale: ExperimentScale = None, model: str = "llama"
+) -> List[ObservationCheck]:
+    """Run every observation check (3-6 trigger generation runs)."""
+    scale = scale or current_scale()
+    out = [check_observation_1(), check_observation_2()]
+    for fn in ALL_CHECKS[2:]:
+        out.append(fn(scale, model))
+    return out

@@ -1,0 +1,103 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig1 table3
+    python -m repro.cli run all            # every main-paper artifact
+    REPRO_SCALE=full python -m repro.cli run table5
+
+Each experiment prints its rendered tables; ``--out DIR`` also writes
+them to ``DIR/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.core.config import current_scale
+from repro.experiments import (
+    fig1_throughput,
+    fig2_h800,
+    fig3_attention_time,
+    fig4_length_dist,
+    fig5_latency_cdf,
+    fig6_negative_threshold,
+    fig7_negative_tasks,
+    table3_tp,
+    table4_semantic,
+    table5_length_ratio,
+    table6_predictors,
+    table7_negative_bench,
+    table8_router,
+)
+
+_ANALYTIC = {
+    "fig1": lambda scale: fig1_throughput.run(),
+    "fig2": lambda scale: fig2_h800.run(),
+    "fig3": lambda scale: fig3_attention_time.run(),
+    "table3": lambda scale: table3_tp.run(),
+}
+
+_GENERATION = {
+    "table4": table4_semantic.run,
+    "table5": table5_length_ratio.run,
+    "fig4": fig4_length_dist.run,
+    "fig5": fig5_latency_cdf.run,
+    "fig6": fig6_negative_threshold.run,
+    "fig7": fig7_negative_tasks.run,
+    "table6": table6_predictors.run,
+    "table7": table7_negative_bench.run,
+    "table8": table8_router.run,
+}
+
+EXPERIMENTS: Dict[str, Callable] = {**_ANALYTIC, **_GENERATION}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment names")
+    runp = sub.add_parser("run", help="run experiments by name")
+    runp.add_argument("names", nargs="+", help="experiment names or 'all'")
+    runp.add_argument("--out", type=pathlib.Path, default=None,
+                      help="also write rendered output to this directory")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        scale = current_scale()
+        print(f"scale: {scale.name} (set REPRO_SCALE=full for paper scale)")
+        for name in EXPERIMENTS:
+            kind = "analytic" if name in _ANALYTIC else "generation"
+            print(f"  {name:8s} [{kind}]")
+        return 0
+
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    scale = current_scale()
+    for name in names:
+        t0 = time.time()
+        result = EXPERIMENTS[name](scale)
+        text = result.render()
+        print(text)
+        print(f"[{name} done in {time.time() - t0:.1f}s]\n")
+        if args.out:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

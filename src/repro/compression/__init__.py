@@ -1,0 +1,62 @@
+"""KV-cache compression algorithms (quantization- and sparsity-based).
+
+Reimplementations of the four algorithms the paper evaluates — KIVI,
+GEAR (quantization) and H2O, StreamingLLM (sparsity) — plus SnapKV from
+the appendix, all against the same :class:`~repro.compression.base.Compressor`
+interface that serves both the functional accuracy studies and the
+analytical throughput studies.
+"""
+
+from repro.compression.base import (
+    CompressionCostSpec,
+    Compressor,
+    NoCompression,
+)
+from repro.compression.quant.codec import (
+    QuantStats,
+    payload_bytes_ratio,
+    quant_dequant_per_channel,
+    quant_dequant_per_token,
+    roundtrip_stats,
+)
+from repro.compression.quant.kivi import KIVICompressor
+from repro.compression.quant.gear import GEARCompressor
+from repro.compression.quant.kvquant import KVQuantCompressor
+from repro.compression.sparse.h2o import H2OCompressor
+from repro.compression.sparse.streaming import StreamingLLMCompressor
+from repro.compression.sparse.snapkv import SnapKVCompressor
+from repro.compression.sparse.tova import TOVACompressor
+from repro.compression.sparse.pyramidkv import PyramidKVCompressor
+from repro.compression.hybrid import QHitterCompressor
+from repro.compression.registry import (
+    EXTENSION_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    available,
+    create,
+    register,
+)
+
+__all__ = [
+    "CompressionCostSpec",
+    "Compressor",
+    "NoCompression",
+    "QuantStats",
+    "payload_bytes_ratio",
+    "quant_dequant_per_channel",
+    "quant_dequant_per_token",
+    "roundtrip_stats",
+    "KIVICompressor",
+    "GEARCompressor",
+    "KVQuantCompressor",
+    "H2OCompressor",
+    "StreamingLLMCompressor",
+    "SnapKVCompressor",
+    "TOVACompressor",
+    "PyramidKVCompressor",
+    "QHitterCompressor",
+    "EXTENSION_ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "available",
+    "create",
+    "register",
+]

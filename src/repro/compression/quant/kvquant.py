@@ -1,0 +1,107 @@
+"""KVQuant-style quantization (Hooper et al., 2024).
+
+Per-channel key quantization like KIVI, plus *outlier isolation*: the
+largest-magnitude fraction of each token group is stored in full
+precision (a sparse outlier set), which protects the channel outliers
+real keys exhibit.  No full-precision residual window — new tokens are
+quantized in small groups almost immediately, which is what lets
+KVQuant push toward very long contexts.  Listed in the paper's survey
+(Table 1, "per-channel key quantization").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressionCostSpec, Compressor
+from repro.compression.quant.codec import (
+    payload_bytes_ratio,
+    quant_dequant_per_channel,
+    quant_dequant_per_token,
+)
+from repro.hardware.roofline import AccessPattern
+from repro.model.cache import LayerCache
+
+
+def isolate_outliers(x: np.ndarray, fraction: float):
+    """(bulk, outliers) split by per-(batch, head) magnitude threshold."""
+    if fraction <= 0:
+        return x, np.zeros_like(x)
+    flat = np.abs(x).reshape(x.shape[0], x.shape[1], -1)
+    k = max(1, int(round(fraction * flat.shape[-1])))
+    thresh = np.partition(flat, -k, axis=-1)[..., -k][..., None, None]
+    mask = np.abs(x) >= thresh
+    return np.where(mask, 0.0, x), np.where(mask, x, 0.0)
+
+
+class KVQuantCompressor(Compressor):
+    """Per-channel key quant with full-precision outlier isolation."""
+
+    needs_probs = False
+
+    def __init__(
+        self,
+        bits: int = 4,
+        group_size: int = 32,
+        outlier_fraction: float = 0.01,
+    ) -> None:
+        if bits < 1 or bits > 8:
+            raise ValueError("bits must be in [1, 8]")
+        if not 0 <= outlier_fraction < 1:
+            raise ValueError("outlier_fraction must be in [0, 1)")
+        self.bits = bits
+        self.group_size = group_size
+        self.outlier_fraction = outlier_fraction
+
+    @property
+    def name(self) -> str:
+        return f"kvquant-{self.bits}"
+
+    def _roundtrip(self, x: np.ndarray, per_channel: bool) -> np.ndarray:
+        bulk, outliers = isolate_outliers(x, self.outlier_fraction)
+        b, kvh, t, dh = bulk.shape
+        g = self.group_size
+        if per_channel:
+            tt = (t // g) * g
+            out = bulk.copy()
+            if tt:
+                grouped = bulk[:, :, :tt].reshape(b, kvh, tt // g, g, dh)
+                out[:, :, :tt] = quant_dequant_per_channel(
+                    grouped, self.bits
+                ).reshape(b, kvh, tt, dh)
+            if tt < t:
+                out[:, :, tt:] = quant_dequant_per_channel(
+                    bulk[:, :, tt:], self.bits
+                )
+        else:
+            out = quant_dequant_per_token(bulk, self.bits, min(g, dh))
+        # outlier slots are stored sparsely at full precision: they
+        # *replace* the dense value rather than correcting it
+        mask = outliers != 0
+        return np.where(mask, x, out)
+
+    def compress(self, layer: int, cache: LayerCache, phase: str) -> None:
+        g = self.group_size
+        # no residual window: quantize every full group immediately
+        target = (cache.length // g) * g
+        start = cache.quantized_until
+        if target <= start:
+            return
+        sl = slice(start, target)
+        k_hat = self._roundtrip(cache.k[:, :, sl], per_channel=True)
+        v_hat = self._roundtrip(cache.v[:, :, sl], per_channel=False)
+        cache.overwrite(sl, k_hat, v_hat)
+        cache.quantized_until = target
+
+    def cost_spec(self) -> CompressionCostSpec:
+        base = payload_bytes_ratio(self.bits, 128, self.group_size)
+        return CompressionCostSpec(
+            name=self.name,
+            kv_bytes_ratio=base + 2.0 * self.outlier_fraction,
+            residual_fp16_tokens=self.group_size,  # only the open group
+            kv_access=AccessPattern.GROUP_QUANT,
+            extra_kv_segments=1,
+            dequant_flops_per_element=2.0,
+            prefill_quant_flops_per_element=4.0,
+            outlier_ratio=self.outlier_fraction,
+        )

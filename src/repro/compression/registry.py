@@ -1,0 +1,115 @@
+"""Name-based construction of compression algorithms.
+
+The experiment harness refers to algorithms by the labels the paper uses
+("kivi-4", "gear-4", "h2o-512", "stream-512", "snapkv-512", "fp16");
+this registry turns those labels into configured compressor objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.compression.base import Compressor, NoCompression
+from repro.compression.quant.gear import GEARCompressor
+from repro.compression.quant.kivi import KIVICompressor
+from repro.compression.hybrid import QHitterCompressor
+from repro.compression.quant.kvquant import KVQuantCompressor
+from repro.compression.sparse.h2o import H2OCompressor
+from repro.compression.sparse.pyramidkv import PyramidKVCompressor
+from repro.compression.sparse.snapkv import SnapKVCompressor
+from repro.compression.sparse.streaming import StreamingLLMCompressor
+from repro.compression.sparse.tova import TOVACompressor
+
+_FACTORIES: Dict[str, Callable[..., Compressor]] = {}
+
+
+def register(prefix: str, factory: Callable[..., Compressor]) -> None:
+    """Register a factory for names of the form ``prefix`` or ``prefix-N``."""
+    _FACTORIES[prefix] = factory
+
+
+def _split(name: str):
+    parts = name.lower().split("-")
+    prefix = parts[0]
+    arg = int(parts[1]) if len(parts) > 1 else None
+    return prefix, arg
+
+
+def create(name: str) -> Compressor:
+    """Instantiate an algorithm from its paper-style label.
+
+    Numeric suffixes mean *bits* for quantizers (``kivi-2``) and *total
+    cache budget* for sparse methods (``stream-1024`` keeps 64 sink +
+    960 recent; ``h2o-1024`` keeps 64 heavy hitters + 960 recent).
+    """
+    prefix, arg = _split(name)
+    if prefix not in _FACTORIES:
+        raise KeyError(f"unknown algorithm {name!r}; known: {available()}")
+    return _FACTORIES[prefix](arg)
+
+
+def available() -> List[str]:
+    """Registered algorithm prefixes."""
+    return sorted(_FACTORIES)
+
+
+def _make_fp16(arg) -> Compressor:
+    return NoCompression()
+
+
+def _make_kivi(arg) -> Compressor:
+    return KIVICompressor(bits=arg if arg else 4)
+
+
+def _make_gear(arg) -> Compressor:
+    return GEARCompressor(bits=arg if arg else 4)
+
+
+def _make_h2o(arg) -> Compressor:
+    budget = arg if arg else 512
+    return H2OCompressor(hh_size=64, recent_size=budget - 64)
+
+
+def _make_stream(arg) -> Compressor:
+    budget = arg if arg else 512
+    return StreamingLLMCompressor(sink_size=64, recent_size=budget - 64)
+
+
+def _make_snapkv(arg) -> Compressor:
+    return SnapKVCompressor(budget=arg if arg else 512)
+
+
+def _make_tova(arg) -> Compressor:
+    return TOVACompressor(budget=arg if arg else 512)
+
+
+def _make_pyramidkv(arg) -> Compressor:
+    return PyramidKVCompressor(mean_budget=arg if arg else 512)
+
+
+def _make_kvquant(arg) -> Compressor:
+    return KVQuantCompressor(bits=arg if arg else 4)
+
+
+def _make_qhitter(arg) -> Compressor:
+    return QHitterCompressor(bits=arg if arg else 4)
+
+
+register("fp16", _make_fp16)
+register("kivi", _make_kivi)
+register("gear", _make_gear)
+register("h2o", _make_h2o)
+register("stream", _make_stream)
+register("snapkv", _make_snapkv)
+register("tova", _make_tova)
+register("pyramidkv", _make_pyramidkv)
+register("kvquant", _make_kvquant)
+register("qhitter", _make_qhitter)
+
+#: survey-extension algorithms beyond the paper's evaluated four
+EXTENSION_ALGORITHMS = (
+    "snapkv-512", "tova-512", "pyramidkv-512", "kvquant-4", "qhitter-4"
+)
+
+#: the four algorithms the paper's main evaluation focuses on
+PAPER_ALGORITHMS = ("kivi-4", "gear-4", "h2o-512", "stream-512")

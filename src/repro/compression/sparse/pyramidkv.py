@@ -1,0 +1,98 @@
+"""PyramidKV: layer-wise KV budget allocation (Zhang et al., 2024d).
+
+Earlier layers aggregate information broadly while later layers funnel
+it into few positions, so PyramidKV gives early layers *larger* cache
+budgets and late layers smaller ones (pyramidal allocation), selecting
+retained positions by accumulated attention like H2O.  Listed in the
+paper's survey (Table 1, "adjust KV cache budget across layers").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.compression.base import CompressionCostSpec, Compressor
+from repro.compression.sparse.policies import (
+    GrowableScores,
+    fold_probs_to_kv_heads,
+    select_top_scores,
+)
+from repro.hardware.roofline import AccessPattern
+from repro.model.cache import LayerCache
+
+
+def pyramid_budgets(
+    n_layers: int, mean_budget: int, slope: float = 0.6
+) -> List[int]:
+    """Per-layer budgets: linear pyramid, mean = ``mean_budget``.
+
+    ``slope`` in [0, 1): the first layer gets ``(1 + slope) * mean`` and
+    the last ``(1 - slope) * mean``.
+    """
+    if not 0 <= slope < 1:
+        raise ValueError("slope must be in [0, 1)")
+    if n_layers == 1:
+        return [mean_budget]
+    tops = np.linspace(1 + slope, 1 - slope, n_layers)
+    return [max(8, int(round(t * mean_budget))) for t in tops]
+
+
+class PyramidKVCompressor(Compressor):
+    """Accumulated-attention eviction with pyramidal layer budgets."""
+
+    needs_probs = True
+
+    def __init__(
+        self,
+        mean_budget: int = 512,
+        recent_size: int = 128,
+        slope: float = 0.6,
+    ) -> None:
+        if mean_budget <= recent_size:
+            raise ValueError("mean_budget must exceed the recent window")
+        self.mean_budget = mean_budget
+        self.recent_size = recent_size
+        self.slope = slope
+
+    @property
+    def name(self) -> str:
+        return f"pyramidkv-{self.mean_budget}"
+
+    def begin(self, batch, config, seq_start) -> None:
+        super().begin(batch, config, seq_start)
+        self._scores = GrowableScores(config.n_layers)
+        self._budgets = pyramid_budgets(
+            config.n_layers, self.mean_budget, self.slope
+        )
+
+    def observe(self, layer, probs, q_pos, k_pos, cache) -> None:
+        self._scores.add(
+            layer, fold_probs_to_kv_heads(probs, self._config.gqa_group)
+        )
+
+    def compress(self, layer: int, cache: LayerCache, phase: str) -> None:
+        budget = self._budgets[layer]
+        n = cache.length
+        if n <= budget:
+            return
+        keep = cache.keep
+        recent = cache.positions >= n - min(self.recent_size, budget // 2)
+        eligible = keep & ~recent[None, None, :]
+        if not eligible.any():
+            return
+        scores = self._scores.get(layer, n)
+        hh = max(0, budget - int(recent.sum()))
+        winners = select_top_scores(scores, eligible, hh)
+        keep[:] = keep & (recent[None, None, :] | winners)
+
+    def cost_spec(self) -> CompressionCostSpec:
+        return CompressionCostSpec(
+            name=self.name,
+            sparse_budget=self.mean_budget,  # mean across layers
+            kv_access=AccessPattern.SPARSE_GATHER,
+            prefill_score_passes=3,
+            decode_score_pass=True,
+            evict_overhead_launches=3,
+        )

@@ -1,0 +1,74 @@
+"""TOVA: token omission via attention (Oren et al., 2024).
+
+At every decode step the token with the lowest attention weight *from
+the current query* is evicted once the cache exceeds the budget — no
+accumulated statistics, and (unlike H2O/StreamingLLM) recent tokens are
+just as evictable as old ones.  Listed in the paper's survey (Table 1,
+"enable recent KV cache evictable").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressionCostSpec, Compressor
+from repro.compression.sparse.policies import (
+    fold_probs_to_kv_heads,
+    select_top_scores,
+)
+from repro.hardware.roofline import AccessPattern
+from repro.model.cache import LayerCache
+
+
+class TOVACompressor(Compressor):
+    """Last-query attention eviction with evictable recency."""
+
+    needs_probs = True
+
+    def __init__(self, budget: int = 512, protect_last: int = 1) -> None:
+        if budget < 2:
+            raise ValueError("budget must be >= 2")
+        self.budget = budget
+        self.protect_last = protect_last
+
+    @property
+    def name(self) -> str:
+        return f"tova-{self.budget}"
+
+    def begin(self, batch, config, seq_start) -> None:
+        super().begin(batch, config, seq_start)
+        self._last = [None] * config.n_layers
+
+    def observe(self, layer, probs, q_pos, k_pos, cache) -> None:
+        # keep only the latest query's attention distribution
+        delta = fold_probs_to_kv_heads(
+            probs[:, :, -1:, :], self._config.gqa_group
+        )
+        n = cache.length
+        padded = np.zeros(delta.shape[:-1] + (n,))
+        padded[..., : delta.shape[-1]] = delta
+        self._last[layer] = padded
+
+    def compress(self, layer: int, cache: LayerCache, phase: str) -> None:
+        n = cache.length
+        if n <= self.budget or self._last[layer] is None:
+            return
+        keep = cache.keep
+        scores = self._last[layer][..., :n]
+        protected = cache.positions >= n - self.protect_last
+        eligible = keep & ~protected[None, None, :]
+        winners = select_top_scores(
+            scores, eligible, self.budget - self.protect_last
+        )
+        keep[:] = keep & (protected[None, None, :] | winners)
+
+    def cost_spec(self) -> CompressionCostSpec:
+        return CompressionCostSpec(
+            name=self.name,
+            sparse_budget=self.budget,
+            kv_access=AccessPattern.SPARSE_GATHER,
+            prefill_score_passes=1,
+            score_rows=1,  # only the final query's row is needed
+            decode_score_pass=True,
+            evict_overhead_launches=2,
+        )

@@ -1,0 +1,13 @@
+"""Public API of the reproduction library."""
+
+from repro.core.config import FULL, SMALL, ExperimentScale, current_scale
+from repro.core.pipeline import CompressedGenerationPipeline, ServingEstimate
+
+__all__ = [
+    "FULL",
+    "SMALL",
+    "ExperimentScale",
+    "current_scale",
+    "CompressedGenerationPipeline",
+    "ServingEstimate",
+]

@@ -1,0 +1,53 @@
+"""Experiment scaling knobs.
+
+Experiments default to a *small* scale that completes in CI-friendly
+time; set the environment variable ``REPRO_SCALE=full`` to run at a
+scale closer to the paper's (1,000 ShareGPT requests, larger LongBench
+suites, denser throughput grids).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizes of the data-driven experiments."""
+
+    name: str
+    sharegpt_requests: int
+    longbench_per_task: int
+    router_requests: int
+    max_new_tokens: int
+    batch_size: int
+
+    @property
+    def is_full(self) -> bool:
+        """Whether this is the paper-scale configuration."""
+        return self.name == "full"
+
+
+SMALL = ExperimentScale(
+    name="small",
+    sharegpt_requests=96,
+    longbench_per_task=16,
+    router_requests=160,
+    max_new_tokens=64,
+    batch_size=16,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    sharegpt_requests=1000,
+    longbench_per_task=60,
+    router_requests=1000,
+    max_new_tokens=160,
+    batch_size=24,
+)
+
+
+def current_scale() -> ExperimentScale:
+    """Scale selected by the ``REPRO_SCALE`` environment variable."""
+    return FULL if os.environ.get("REPRO_SCALE", "small") == "full" else SMALL

@@ -1,0 +1,42 @@
+"""Synthetic datasets standing in for ShareGPT and LongBench.
+
+The paper evaluates on ShareGPT (throughput / length distribution) and
+LongBench (negative-sample analysis).  Neither is available offline, so
+this package provides seeded generators with matching structure; see
+DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.longbench import (
+    LongBenchSim,
+    Sample,
+    TASK_GROUPS,
+    TASK_METRICS,
+    TASK_TYPES,
+)
+from repro.datasets.metrics import (
+    METRICS,
+    edit_similarity,
+    exact_match,
+    rouge_like,
+    score,
+    sequence_accuracy,
+    token_f1,
+)
+from repro.datasets.sharegpt import Request, ShareGPTSim
+
+__all__ = [
+    "LongBenchSim",
+    "Sample",
+    "TASK_GROUPS",
+    "TASK_METRICS",
+    "TASK_TYPES",
+    "METRICS",
+    "edit_similarity",
+    "exact_match",
+    "rouge_like",
+    "score",
+    "sequence_accuracy",
+    "token_f1",
+    "Request",
+    "ShareGPTSim",
+]

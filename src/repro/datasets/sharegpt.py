@@ -1,0 +1,137 @@
+"""ShareGPT-like synthetic conversation workload.
+
+The paper samples 1,000 ShareGPT requests for its length-distribution
+and end-to-end-latency studies (Appendix A.1).  This generator produces
+requests with ShareGPT-like marginals — log-normal prompt lengths, a
+broad range of intended response lengths — whose prompts the functional
+model can actually answer: every prompt embeds a record whose value span
+is the "intended" response, so response length is governed by the same
+retrieval circuit that compression degrades.  Requests optionally carry
+a distractor record, making a fraction of the workload fragile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.model.tokenizer import SyntheticTokenizer
+
+
+@dataclass
+class Request:
+    """One serving request."""
+
+    request_id: str
+    prompt: List[int]
+    intended_length: int
+    reference: List[int] = field(default_factory=list)
+    meta: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def prompt_len(self) -> int:
+        """Prompt length in tokens."""
+        return len(self.prompt)
+
+
+class ShareGPTSim:
+    """Seeded ShareGPT-like request generator."""
+
+    def __init__(
+        self,
+        tokenizer: Optional[SyntheticTokenizer] = None,
+        seed: int = 0,
+        prompt_log_mean: float = 5.6,   # median ~270 tokens
+        prompt_log_sigma: float = 0.55,
+        min_prompt: int = 96,
+        max_prompt: int = 2048,
+        min_answer: int = 4,
+        max_answer: int = 24,
+        distractor_fraction: float = 0.3,
+    ) -> None:
+        self.tok = tokenizer or SyntheticTokenizer()
+        self.rng = np.random.default_rng(seed)
+        self.prompt_log_mean = prompt_log_mean
+        self.prompt_log_sigma = prompt_log_sigma
+        self.min_prompt = min_prompt
+        self.max_prompt = max_prompt
+        self.min_answer = min_answer
+        self.max_answer = max_answer
+        self.distractor_fraction = distractor_fraction
+        content = self.tok.content_ids
+        half = len(content) // 2
+        self.filler_alpha = content[:half]
+        self.record_alpha = content[half:]
+
+    def _filler(self, n: int) -> List[int]:
+        if n <= 0:
+            return []
+        return [int(x) for x in self.rng.choice(self.filler_alpha, size=n)]
+
+    def build_request(self, idx: int) -> Request:
+        """One request: conversational filler + record(s) + final query."""
+        sp = self.tok.special
+        target_len = int(
+            np.clip(
+                self.rng.lognormal(self.prompt_log_mean, self.prompt_log_sigma),
+                self.min_prompt,
+                self.max_prompt,
+            )
+        )
+        ans_len = int(self.rng.integers(self.min_answer, self.max_answer + 1))
+        key = int(self.rng.choice(self.record_alpha))
+        pool_size = min(len(self.record_alpha) - 1, ans_len + 2)
+        pool = [c for c in self.record_alpha if c != key]
+        pool = [int(x) for x in self.rng.choice(pool, size=pool_size, replace=False)]
+        # answer tokens are distinct so the retrieval chain is unambiguous
+        # for the uncompressed model; the decoy reuses the same pool so
+        # every chain step is contested when a distractor is present
+        vals = [int(x) for x in self.rng.permutation(pool)[:ans_len]]
+        record = [sp.q, key] + vals + [sp.sep]
+
+        has_distractor = bool(self.rng.random() < self.distractor_fraction)
+        decoy: List[int] = []
+        if has_distractor:
+            decoy_vals = [int(x) for x in self.rng.permutation(pool)[:ans_len]]
+            decoy = [sp.q, key] + decoy_vals + [sp.sep]
+
+        tail = int(self.rng.integers(64, max(96, int(0.7 * target_len))))
+        remaining = max(16, target_len - len(record) - len(decoy) - tail - 3)
+        # the decoy sits well before the true record: the recency margin
+        # scales with the gap, keeping uncompressed retrieval reliable
+        # while compression noise can still flip near-threshold samples
+        head = int(self.rng.integers(8, max(16, int(0.4 * remaining))))
+        gap = max(0, remaining - head)
+        prompt = (
+            [sp.bos]
+            + self._filler(head)
+            + decoy
+            + self._filler(gap)
+            + record
+            + self._filler(tail)
+            + [sp.q, key]
+        )
+        return Request(
+            request_id=f"sharegpt-{idx}",
+            prompt=prompt,
+            intended_length=ans_len,
+            reference=vals,
+            meta={
+                "has_distractor": float(has_distractor),
+                "tail": tail,
+                "target_len": target_len,
+            },
+        )
+
+    def build(self, n: int) -> List[Request]:
+        """Generate ``n`` requests."""
+        return [self.build_request(i) for i in range(n)]
+
+    def arrival_times(self, n: int, requests_per_second: float) -> np.ndarray:
+        """Poisson arrival timestamps for ``n`` requests."""
+        if requests_per_second <= 0:
+            raise ValueError("requests_per_second must be positive")
+        gaps = self.rng.exponential(1.0 / requests_per_second, size=n)
+        return np.cumsum(gaps)

@@ -1,0 +1,45 @@
+"""One module per paper table/figure; see DESIGN.md for the index."""
+
+from repro.experiments import (
+    ablations,
+    appendix,
+    fig1_throughput,
+    fig2_h800,
+    fig3_attention_time,
+    fig4_length_dist,
+    fig5_latency_cdf,
+    fig6_negative_threshold,
+    fig7_negative_tasks,
+    table3_tp,
+    table4_semantic,
+    table5_length_ratio,
+    table6_predictors,
+    table7_negative_bench,
+    table8_router,
+)
+from repro.experiments.common import (
+    ALGOS,
+    ALL_ALGOS,
+    ExperimentResult,
+)
+
+__all__ = [
+    "ablations",
+    "appendix",
+    "fig1_throughput",
+    "fig2_h800",
+    "fig3_attention_time",
+    "fig4_length_dist",
+    "fig5_latency_cdf",
+    "fig6_negative_threshold",
+    "fig7_negative_tasks",
+    "table3_tp",
+    "table4_semantic",
+    "table5_length_ratio",
+    "table6_predictors",
+    "table7_negative_bench",
+    "table8_router",
+    "ALGOS",
+    "ALL_ALGOS",
+    "ExperimentResult",
+]

@@ -1,0 +1,100 @@
+"""Shared infrastructure for the per-table/figure experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compression.base import CompressionCostSpec, NoCompression
+from repro.compression.registry import create
+from repro.engines.base import ServingCostModel
+from repro.engines.presets import get_engine
+from repro.hardware.interconnect import (
+    NVLINK_A6000,
+    NVLINK_H800,
+    InterconnectSpec,
+)
+from repro.hardware.specs import get_gpu
+from repro.model.arch import get_arch
+from repro.model.config import llama_sim_config, mistral_sim_config
+from repro.model.transformer import FunctionalTransformer
+
+#: the four algorithms of the paper's main evaluation
+ALGOS: Tuple[str, ...] = ("kivi-4", "gear-4", "h2o-512", "stream-512")
+#: baseline + algorithms
+ALL_ALGOS: Tuple[str, ...] = ("fp16",) + ALGOS
+
+#: paper-style column labels
+LABELS: Dict[str, str] = {
+    "fp16": "FP16",
+    "kivi-4": "KIVI-4",
+    "gear-4": "GEAR-4",
+    "h2o-512": "H2O-512",
+    "stream-512": "Stream-512",
+    "snapkv-512": "SnapKV-512",
+}
+
+
+@lru_cache(maxsize=4)
+def llama_model() -> FunctionalTransformer:
+    """The LLaMA-style functional model (shared across experiments)."""
+    return FunctionalTransformer(llama_sim_config())
+
+
+@lru_cache(maxsize=4)
+def mistral_model() -> FunctionalTransformer:
+    """The Mistral-style (GQA) functional model."""
+    return FunctionalTransformer(mistral_sim_config())
+
+
+def functional_model(name: str) -> FunctionalTransformer:
+    """Functional model by family name ("llama" or "mistral")."""
+    if name == "llama":
+        return llama_model()
+    if name == "mistral":
+        return mistral_model()
+    raise KeyError(f"unknown functional model {name!r}")
+
+
+def cost_model(
+    arch: str = "llama-7b",
+    gpu: str = "a6000",
+    engine: str = "lmdeploy",
+    tp: int = 1,
+) -> ServingCostModel:
+    """Construct a serving cost model for a deployment."""
+    interconnect: Optional[InterconnectSpec] = None
+    if tp > 1:
+        interconnect = NVLINK_H800 if gpu.lower() == "h800" else NVLINK_A6000
+    return ServingCostModel(
+        get_arch(arch), get_gpu(gpu), get_engine(engine), tp=tp,
+        interconnect=interconnect,
+    )
+
+
+def comp_spec(name: str) -> CompressionCostSpec:
+    """Cost spec for an algorithm name ("fp16" included)."""
+    if name == "fp16":
+        return NoCompression().cost_spec()
+    return create(name).cost_spec()
+
+
+def comp_specs(names: Sequence[str]) -> Dict[str, CompressionCostSpec]:
+    """Cost specs for several algorithm names."""
+    return {n: comp_spec(n) for n in names}
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output + raw data of one experiment."""
+
+    name: str
+    description: str
+    tables: List[str] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Full printable report."""
+        head = f"== {self.name} ==\n{self.description}"
+        return "\n\n".join([head] + self.tables)

@@ -1,0 +1,46 @@
+"""Figure 2: throughput analysis of LLaMA-70B on H800 GPUs.
+
+Same panel structure as Figure 1 but for the 70B model under tensor
+parallelism on H800 — the high-bandwidth regime where compression's
+relative benefit shrinks (the paper's bandwidth-contention argument).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import ALL_ALGOS, ExperimentResult
+from repro.experiments.fig1_throughput import BATCHES, throughput_grid
+
+DECODE_LENS = (512, 2048, 8192)
+PREFILL_LENS = (512, 2048, 4096)
+
+
+def run(tp: int = 4) -> ExperimentResult:
+    """Reproduce Figure 2 (LLaMA-70B, H800, TP=4)."""
+    res = ExperimentResult(
+        name=f"Figure 2 — LLaMA-70B on H800 (TP={tp})",
+        description=(
+            "Per-algorithm prefill/decode throughput on the H800's much "
+            "higher memory bandwidth; compression speedups compress "
+            "toward 1x relative to the A6000 results of Figure 1."
+        ),
+    )
+    for stage, lens in (("prefill", PREFILL_LENS), ("decode", DECODE_LENS)):
+        grid = throughput_grid(
+            stage, arch="llama-70b", gpu="h800", lengths=lens, tp=tp
+        )
+        res.data[f"{stage}_grid"] = grid
+        rows = [
+            [b, L] + [grid[a][(b, L)] for a in ALL_ALGOS]
+            for b in BATCHES
+            for L in lens
+        ]
+        res.tables.append(
+            format_table(
+                ["batch", "len"] + list(ALL_ALGOS),
+                rows,
+                title=f"{stage} throughput (tok/s, 0=OOM):",
+                precision=0,
+            )
+        )
+    return res

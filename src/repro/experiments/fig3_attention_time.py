@@ -1,0 +1,75 @@
+"""Figure 3: execution time of the attention layer per algorithm.
+
+(a) prefill attention time vs prompt length — GEAR and H2O pay for
+error correction and score materialization; (b) decode attention time
+vs KV length — sparse methods stay flat because their cache is capped.
+Attention time includes the algorithm's compression work, as the
+paper's measurement does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.experiments.common import (
+    ALL_ALGOS,
+    ExperimentResult,
+    comp_specs,
+    cost_model,
+)
+
+PREFILL_LENS = (256, 512, 1024, 2048, 4096)
+DECODE_LENS = (256, 512, 1024, 2048, 4096, 8192)
+
+
+def attention_time_series(
+    stage: str,
+    lengths: Sequence[int],
+    batch: int = 4,
+    arch: str = "llama-7b",
+    gpu: str = "a6000",
+    engine: str = "lmdeploy",
+    algos: Sequence[str] = ALL_ALGOS,
+) -> Dict[str, List[float]]:
+    """algo -> attention seconds per length (NaN on OOM)."""
+    m = cost_model(arch, gpu, engine)
+    out: Dict[str, List[float]] = {}
+    for a, spec in comp_specs(algos).items():
+        series = []
+        for L in lengths:
+            cost = (
+                m.prefill(batch, L, spec)
+                if stage == "prefill"
+                else m.decode_step(batch, L, spec)
+            )
+            series.append(
+                float("nan") if cost.oom else cost.attention_seconds
+            )
+        out[a] = series
+    return out
+
+
+def run(batch: int = 4) -> ExperimentResult:
+    """Reproduce Figure 3 (a) and (b)."""
+    res = ExperimentResult(
+        name="Figure 3 — attention-layer execution time",
+        description=(
+            "Attention + compression time (ms) across lengths; batch "
+            f"{batch}, LLaMA-7B on A6000 under LMDeploy."
+        ),
+    )
+    for stage, lens in (("prefill", PREFILL_LENS), ("decode", DECODE_LENS)):
+        series = attention_time_series(stage, lens, batch)
+        res.data[stage] = series
+        res.tables.append(
+            "\n".join(
+                [f"({'a' if stage == 'prefill' else 'b'}) {stage} "
+                 "attention time (ms) vs length:"]
+                + [
+                    format_series(a, lens, [1e3 * v for v in s])
+                    for a, s in series.items()
+                ]
+            )
+        )
+    return res

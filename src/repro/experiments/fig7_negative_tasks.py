@@ -1,0 +1,55 @@
+"""Figure 7 (and appendix Fig. 18): negative samples by task type.
+
+At the 10% threshold, the breakdown of each algorithm's negative
+samples over task types — showing the unbalanced fragility toward
+summarization and QA (Observation 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.reporting import format_table
+from repro.core.config import ExperimentScale, current_scale
+from repro.datasets.longbench import TASK_TYPES
+from repro.experiments.common import ALGOS, ExperimentResult
+from repro.experiments.fig6_negative_threshold import build_analysis
+
+THETA = 0.10
+
+
+def task_breakdown(
+    scale: ExperimentScale, model: str = "llama", theta: float = THETA
+) -> Dict[str, Dict[str, int]]:
+    """algo -> {task: negative count} at the given threshold."""
+    analysis = build_analysis(scale, model)
+    return {
+        algo: analysis.counts_by_task([algo], theta) for algo in ALGOS
+    }
+
+
+def run(
+    scale: ExperimentScale = None, model: str = "llama"
+) -> ExperimentResult:
+    """Reproduce Figure 7."""
+    scale = scale or current_scale()
+    data = task_breakdown(scale, model)
+    res = ExperimentResult(
+        name=f"Figure 7 — negative samples by task type ({model})",
+        description=(
+            f"Negative-sample counts per task at theta={THETA:.0%}; "
+            "pie-chart proportions in the paper, counts here."
+        ),
+        data={"breakdown": data},
+    )
+    rows = []
+    for algo, by_task in data.items():
+        total = sum(by_task.values())
+        rows.append(
+            [algo, total]
+            + [by_task.get(t, 0) for t in TASK_TYPES]
+        )
+    res.tables.append(
+        format_table(["algo", "total"] + list(TASK_TYPES), rows)
+    )
+    return res

@@ -1,0 +1,84 @@
+"""Table 3: relative speedup under tensor parallelism.
+
+FP16 absolute throughput plus each algorithm's relative speedup for
+prefill and decode at TP in {1, 2, 4}.  The paper's finding: TP lifts
+absolute throughput but *shrinks* the relative benefit of KV
+compression (per-GPU KV traffic falls while fixed compression overheads
+do not).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.reporting import format_speedup, format_table
+from repro.experiments.common import (
+    ALGOS,
+    ExperimentResult,
+    comp_spec,
+    comp_specs,
+    cost_model,
+)
+
+TPS = (1, 2, 4)
+
+
+def tp_speedups(
+    stage: str,
+    batch: int = 4,
+    length: int = 2048,
+    arch: str = "llama-7b",
+    gpu: str = "a6000",
+    engine: str = "lmdeploy",
+    tps: Sequence[int] = TPS,
+    algos: Sequence[str] = ALGOS,
+) -> Dict[int, Dict[str, float]]:
+    """tp -> {"fp16": tok/s, algo: relative speedup}."""
+    fp16 = comp_spec("fp16")
+    specs = comp_specs(algos)
+    out: Dict[int, Dict[str, float]] = {}
+    for tp in tps:
+        m = cost_model(arch, gpu, engine, tp)
+        if stage == "prefill":
+            base = m.prefill_throughput(batch, length, fp16)
+            row = {
+                a: (m.prefill_throughput(batch, length, s) / base if base else 0.0)
+                for a, s in specs.items()
+            }
+        else:
+            base = m.decode_throughput(batch, length, fp16)
+            row = {
+                a: (m.decode_throughput(batch, length, s) / base if base else 0.0)
+                for a, s in specs.items()
+            }
+        row["fp16"] = base
+        out[tp] = row
+    return out
+
+
+def run(batch: int = 4, length: int = 2048) -> ExperimentResult:
+    """Reproduce Table 3."""
+    res = ExperimentResult(
+        name="Table 3 — relative speedup across tensor parallelism",
+        description=(
+            f"LLaMA-7B on A6000/LMDeploy, batch {batch}, length {length}. "
+            "FP16 column is absolute tokens/s; algorithm columns are "
+            "speedups over FP16 at the same TP."
+        ),
+    )
+    for stage in ("prefill", "decode"):
+        data = tp_speedups(stage, batch, length)
+        res.data[stage] = data
+        rows = [
+            [tp, f"{data[tp]['fp16']:.2f}"]
+            + [format_speedup(data[tp][a]) for a in ALGOS]
+            for tp in TPS
+        ]
+        res.tables.append(
+            format_table(
+                ["TP", "FP16 (tok/s)"] + list(ALGOS),
+                rows,
+                title=f"{stage}:",
+            )
+        )
+    return res

@@ -1,0 +1,84 @@
+"""Table 4: semantic scores and length increase of verbose outputs.
+
+The paper selects ~200 ShareGPT requests where compression produced
+longer responses than FP16, then reports semantic similarity (against a
+reference response) and the relative length increase — showing that
+compression's longer outputs carry only minor semantic degradation,
+i.e. compression makes models *verbose*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.semantic import SemanticScorer
+from repro.core.config import ExperimentScale, current_scale
+from repro.experiments.common import ALGOS, ExperimentResult, functional_model
+from repro.experiments.genruns import sharegpt_requests, sharegpt_run
+
+
+def semantic_and_length(
+    scale: ExperimentScale,
+    model: str = "llama",
+    algos: Sequence[str] = ALGOS,
+    max_samples: int = 200,
+) -> Dict[str, Dict[str, float]]:
+    """algo -> {semantic_score (x100), length_increase, n} on the
+    longer-response subset; plus the FP16 row."""
+    reqs = sharegpt_requests(scale)
+    base = sharegpt_run(scale, "fp16", 1.0, model)
+    scorer = SemanticScorer(functional_model(model).config)
+    refs = [r.reference for r in reqs]
+    base_scores = scorer.score_many(base.responses, refs)
+
+    out: Dict[str, Dict[str, float]] = {
+        "fp16": {
+            "semantic": 100 * float(base_scores.mean()),
+            "length_increase": 1.0,
+            "n": len(reqs),
+        }
+    }
+    for algo in algos:
+        run_ = sharegpt_run(scale, algo, 1.0, model)
+        longer = np.nonzero(run_.lengths > base.lengths)[0][:max_samples]
+        if longer.size == 0:
+            out[algo] = {"semantic": float("nan"), "length_increase": 1.0, "n": 0}
+            continue
+        scores = scorer.score_many(
+            [run_.responses[i] for i in longer], [refs[i] for i in longer]
+        )
+        ratio = run_.lengths[longer] / np.maximum(base.lengths[longer], 1)
+        out[algo] = {
+            "semantic": 100 * float(scores.mean()),
+            "length_increase": float(ratio.mean()),
+            "n": int(longer.size),
+        }
+    return out
+
+
+def run(
+    scale: ExperimentScale = None, model: str = "llama"
+) -> ExperimentResult:
+    """Reproduce Table 4."""
+    scale = scale or current_scale()
+    data = semantic_and_length(scale, model)
+    cols = list(data)
+    res = ExperimentResult(
+        name=f"Table 4 — semantic score vs length increase ({model})",
+        description=(
+            "On the subset of requests where compression lengthens the "
+            "response: semantic similarity to the reference (x100) and "
+            "mean relative length increase."
+        ),
+        data={"table": data},
+    )
+    rows = [
+        ["Semantic Score"] + [f"{data[c]['semantic']:.1f}" for c in cols],
+        ["Length Increase (x)"] + [f"{data[c]['length_increase']:.2f}" for c in cols],
+        ["n (longer subset)"] + [str(data[c]["n"]) for c in cols],
+    ]
+    res.tables.append(format_table(["Metric"] + cols, rows))
+    return res

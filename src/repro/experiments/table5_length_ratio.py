@@ -1,0 +1,58 @@
+"""Table 5 (and appendix Table 9): length-variation ratios.
+
+Fraction of ShareGPT-sim samples whose response length changes by at
+least 50% relative to the T=1 FP16 baseline — under temperature 0.9 and
+1.1 (sampling noise reference) and under each compression algorithm at
+T=1.  The paper's point: temperature moves lengths both ways roughly
+evenly, compression skews toward *longer* responses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.length_stats import VariationRatios, length_difference
+from repro.analysis.reporting import format_table
+from repro.core.config import ExperimentScale, current_scale
+from repro.experiments.common import ALGOS, ExperimentResult
+from repro.experiments.genruns import sharegpt_run
+
+TEMP_CONFIGS = (("T=0.9", "fp16", 0.9), ("T=1.1", "fp16", 1.1))
+
+
+def variation_table(
+    scale: ExperimentScale,
+    model: str = "llama",
+    algos: Sequence[str] = ALGOS,
+) -> Dict[str, VariationRatios]:
+    """column label -> variation ratios vs the FP16 T=1 baseline."""
+    base = sharegpt_run(scale, "fp16", 1.0, model).lengths
+    configs = list(TEMP_CONFIGS) + [(a, a, 1.0) for a in algos]
+    out: Dict[str, VariationRatios] = {}
+    for label, algo, temp in configs:
+        lens = sharegpt_run(scale, algo, temp, model).lengths
+        out[label] = VariationRatios.from_d(length_difference(base, lens))
+    return out
+
+
+def run(
+    scale: ExperimentScale = None, model: str = "llama"
+) -> ExperimentResult:
+    """Reproduce Table 5 (or Table 9 with ``model="mistral"``)."""
+    scale = scale or current_scale()
+    table = variation_table(scale, model)
+    cols = list(table)
+    res = ExperimentResult(
+        name=f"Table 5 — response-length variation ratios ({model})",
+        description=(
+            f"{scale.sharegpt_requests} ShareGPT-sim requests; ratio of "
+            "samples with |D| >= 50% vs the FP16 T=1 baseline."
+        ),
+        data={"ratios": table},
+    )
+    rows = [
+        ["% D >= 50% (shorter)"] + [f"{table[c].shorter_50:.1f}%" for c in cols],
+        ["% D <= -50% (longer)"] + [f"{table[c].longer_50:.1f}%" for c in cols],
+    ]
+    res.tables.append(format_table(["Metric"] + cols, rows))
+    return res

@@ -1,0 +1,89 @@
+"""Table 6 (and appendix Table 10): prediction accuracy of the tools.
+
+- Throughput predictor: profile-grid interpolation evaluated on
+  off-grid (stage, batch, length) points, per algorithm.
+- Length predictor: per-algorithm bucket classifiers trained on
+  ShareGPT-sim generations, held-out accuracy per the paper's
+  ``1 - |L_pred - L_gt| / L_gt`` definition.
+
+The paper reports >=85% for both tools across algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.config import ExperimentScale, current_scale
+from repro.experiments.common import (
+    ALL_ALGOS,
+    ExperimentResult,
+    comp_specs,
+    cost_model,
+    functional_model,
+)
+from repro.experiments.genruns import (
+    sharegpt_lengths_by_algo,
+    sharegpt_requests,
+)
+from repro.tools.length_predictor import train_per_algorithm
+from repro.tools.throughput_predictor import ThroughputPredictor
+
+EVAL_POINTS = [
+    ("decode", 3, 384),
+    ("decode", 6, 1536),
+    ("decode", 12, 768),
+    ("decode", 24, 3072),
+    ("prefill", 3, 384),
+    ("prefill", 6, 1536),
+    ("prefill", 12, 768),
+]
+
+
+def throughput_accuracy(
+    algos: Sequence[str] = ALL_ALGOS,
+    arch: str = "llama-7b",
+    gpu: str = "a6000",
+    engine: str = "lmdeploy",
+) -> Dict[str, float]:
+    """Per-algorithm throughput-predictor accuracy on off-grid points."""
+    predictor = ThroughputPredictor(
+        cost_model(arch, gpu, engine), comp_specs(algos)
+    ).profile()
+    return predictor.accuracy(EVAL_POINTS)
+
+
+def length_accuracy(
+    scale: ExperimentScale, model: str = "llama",
+    algos: Sequence[str] = ALL_ALGOS,
+) -> Dict[str, float]:
+    """Per-algorithm length-predictor held-out accuracy."""
+    reqs = sharegpt_requests(scale)
+    lengths = sharegpt_lengths_by_algo(scale, algos, model)
+    trained = train_per_algorithm(
+        [r.prompt for r in reqs],
+        lengths,
+        tokenizer=functional_model(model).tokenizer,
+    )
+    return {a: float(trained[a]["accuracy"]) for a in algos}
+
+
+def run(
+    scale: ExperimentScale = None, model: str = "llama"
+) -> ExperimentResult:
+    """Reproduce Table 6."""
+    scale = scale or current_scale()
+    thr = throughput_accuracy()
+    lng = length_accuracy(scale, model)
+    res = ExperimentResult(
+        name=f"Table 6 — tool prediction accuracy ({model})",
+        description="Accuracy of the throughput and length predictors.",
+        data={"throughput": thr, "length": lng},
+    )
+    cols = list(ALL_ALGOS)
+    rows = [
+        ["Throughput Predictor"] + [f"{100 * thr[a]:.1f}%" for a in cols],
+        ["Length Predictor"] + [f"{100 * lng[a]:.1f}%" for a in cols],
+    ]
+    res.tables.append(format_table(["Tool"] + cols, rows))
+    return res

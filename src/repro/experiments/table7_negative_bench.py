@@ -1,0 +1,41 @@
+"""Table 7 (and appendix Table 11): scores on the negative benchmark.
+
+The negative-sample benchmark (Section 5.3) is the union of each
+algorithm's negatives at theta=10%.  Scores on that subset show large
+drops for every compression algorithm relative to the baseline —
+especially on summarization, QA and code.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import dict_rows, format_table
+from repro.core.config import ExperimentScale, current_scale
+from repro.datasets.longbench import TASK_GROUPS
+from repro.experiments.common import ALGOS, ExperimentResult
+from repro.experiments.fig6_negative_threshold import build_analysis
+
+THETA = 0.10
+
+
+def run(
+    scale: ExperimentScale = None, model: str = "llama"
+) -> ExperimentResult:
+    """Reproduce Table 7."""
+    scale = scale or current_scale()
+    analysis = build_analysis(scale, model)
+    bench = analysis.benchmark_ids(ALGOS, THETA)
+    scores = analysis.scores_on(bench, TASK_GROUPS)
+    res = ExperimentResult(
+        name=f"Table 7 — negative benchmark scores ({model})",
+        description=(
+            f"{len(bench)} negative samples (theta={THETA:.0%}); mean "
+            "task-group scores x100 for the baseline and each algorithm."
+        ),
+        data={"scores": scores, "benchmark_size": len(bench)},
+    )
+    if scores:
+        headers = ["task group"] + list(next(iter(scores.values())))
+        res.tables.append(format_table(headers, dict_rows(scores)))
+    else:
+        res.tables.append("(no negative samples at this scale)")
+    return res

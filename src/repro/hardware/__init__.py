@@ -1,0 +1,53 @@
+"""Hardware substrate: GPU specifications, roofline timing, memory accounting.
+
+The paper's measurements run on NVIDIA A6000 (Figures 1, 3-7, Tables 3-8)
+and H800 (Figure 2) GPUs.  This package models those devices analytically:
+a roofline timing model (bandwidth-bound vs compute-bound operator times
+plus kernel-launch overheads) and a memory model that reproduces the
+out-of-memory boundaries reported in the paper (e.g. quantized KV caches
+going OOM before FP16 at KV length 8192, Fig. 1(l)).
+"""
+
+from repro.hardware.specs import (
+    GPUSpec,
+    A6000,
+    H800,
+    A100_80G,
+    get_gpu,
+    list_gpus,
+)
+from repro.hardware.roofline import (
+    AccessPattern,
+    OpCost,
+    Roofline,
+)
+from repro.hardware.memory import (
+    MemoryModel,
+    MemoryBreakdown,
+    OutOfMemoryError,
+)
+from repro.hardware.interconnect import (
+    InterconnectSpec,
+    NVLINK_A6000,
+    NVLINK_H800,
+    allreduce_time,
+)
+
+__all__ = [
+    "GPUSpec",
+    "A6000",
+    "H800",
+    "A100_80G",
+    "get_gpu",
+    "list_gpus",
+    "AccessPattern",
+    "OpCost",
+    "Roofline",
+    "MemoryModel",
+    "MemoryBreakdown",
+    "OutOfMemoryError",
+    "InterconnectSpec",
+    "NVLINK_A6000",
+    "NVLINK_H800",
+    "allreduce_time",
+]

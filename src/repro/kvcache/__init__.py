@@ -1,0 +1,15 @@
+"""Systems-level KV-cache stores: contiguous, paged, dual-pool quantized."""
+
+from repro.kvcache.base import CapacityError, KVCacheStore, StoreStats
+from repro.kvcache.contiguous import ContiguousStore
+from repro.kvcache.paged import PagedStore
+from repro.kvcache.quantized import QuantizedPagedStore
+
+__all__ = [
+    "CapacityError",
+    "KVCacheStore",
+    "StoreStats",
+    "ContiguousStore",
+    "PagedStore",
+    "QuantizedPagedStore",
+]

@@ -1,0 +1,71 @@
+"""Abstract interface of systems-level KV-cache stores.
+
+These stores model how serving engines *manage* cache memory (the
+metadata plane): sequence allocation, growth, eviction-driven shrinkage
+and freeing.  The functional model's numeric cache lives separately in
+:mod:`repro.model.cache`; the stores here answer the questions the
+paper raises about management complexity — fragmentation, reallocation
+copies, dual-pool bookkeeping for windowed quantization.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Occupancy snapshot of a cache store."""
+
+    allocated_tokens: int    # tokens with storage reserved
+    live_tokens: int         # tokens actually retained
+    capacity_tokens: int     # total store capacity
+    copied_tokens: int       # tokens moved by reallocation so far
+
+    @property
+    def internal_fragmentation(self) -> float:
+        """Reserved-but-unused fraction of the allocation."""
+        if self.allocated_tokens == 0:
+            return 0.0
+        return 1.0 - self.live_tokens / self.allocated_tokens
+
+    @property
+    def utilization(self) -> float:
+        """Live fraction of total capacity."""
+        if self.capacity_tokens == 0:
+            return 0.0
+        return self.live_tokens / self.capacity_tokens
+
+
+class KVCacheStore(abc.ABC):
+    """Management-plane interface shared by all stores."""
+
+    @abc.abstractmethod
+    def add_sequence(self, seq_id: str, prompt_tokens: int) -> None:
+        """Reserve storage for a new sequence's prompt."""
+
+    @abc.abstractmethod
+    def append(self, seq_id: str, n_tokens: int = 1) -> None:
+        """Extend a sequence by ``n_tokens`` decode tokens."""
+
+    @abc.abstractmethod
+    def evict(self, seq_id: str, positions: List[int]) -> None:
+        """Mark positions of a sequence as evicted (sparsity)."""
+
+    @abc.abstractmethod
+    def free(self, seq_id: str) -> None:
+        """Release all storage of a finished sequence."""
+
+    @abc.abstractmethod
+    def stats(self) -> StoreStats:
+        """Current occupancy statistics."""
+
+    @abc.abstractmethod
+    def sequence_tokens(self, seq_id: str) -> int:
+        """Live tokens currently stored for a sequence."""
+
+
+class CapacityError(RuntimeError):
+    """Raised when a store cannot satisfy an allocation."""

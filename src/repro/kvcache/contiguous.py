@@ -1,0 +1,91 @@
+"""Contiguous per-sequence KV storage (TRL-style).
+
+Each sequence owns one contiguous region sized to a power-of-two of its
+current length; growth past the reservation reallocates and *copies*
+(the hidden cost eager engines pay), and eviction cannot return memory
+because the region must stay contiguous — only the live-token count
+drops.  This store makes the baseline for the paged-attention ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.kvcache.base import CapacityError, KVCacheStore, StoreStats
+
+
+def _round_up_pow2(n: int) -> int:
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+@dataclass
+class _Seq:
+    length: int
+    live: int
+    reserved: int
+
+
+class ContiguousStore(KVCacheStore):
+    """Power-of-two contiguous allocator with copy-on-grow."""
+
+    def __init__(self, capacity_tokens: int) -> None:
+        if capacity_tokens < 1:
+            raise ValueError("capacity_tokens must be positive")
+        self.capacity_tokens = capacity_tokens
+        self._seqs: Dict[str, _Seq] = {}
+        self._reserved = 0
+        self._copied = 0
+
+    def _reserve(self, n: int) -> None:
+        if self._reserved + n > self.capacity_tokens:
+            raise CapacityError(
+                f"needs {n} tokens, {self.capacity_tokens - self._reserved} free"
+            )
+        self._reserved += n
+
+    def add_sequence(self, seq_id: str, prompt_tokens: int) -> None:
+        if seq_id in self._seqs:
+            raise KeyError(f"sequence {seq_id!r} already present")
+        if prompt_tokens < 1:
+            raise ValueError("prompt_tokens must be positive")
+        reserved = _round_up_pow2(prompt_tokens)
+        self._reserve(reserved)
+        self._seqs[seq_id] = _Seq(
+            length=prompt_tokens, live=prompt_tokens, reserved=reserved
+        )
+
+    def append(self, seq_id: str, n_tokens: int = 1) -> None:
+        s = self._seqs[seq_id]
+        s.length += n_tokens
+        s.live += n_tokens
+        if s.length > s.reserved:
+            new_reserved = _round_up_pow2(s.length)
+            self._reserve(new_reserved - s.reserved)
+            # reallocation copies the whole existing region
+            self._copied += s.length - n_tokens
+            s.reserved = new_reserved
+
+    def evict(self, seq_id: str, positions: List[int]) -> None:
+        s = self._seqs[seq_id]
+        n = len(positions)
+        if n > s.live:
+            raise ValueError("evicting more tokens than live")
+        s.live -= n  # memory cannot shrink: region stays contiguous
+
+    def free(self, seq_id: str) -> None:
+        s = self._seqs.pop(seq_id)
+        self._reserved -= s.reserved
+
+    def sequence_tokens(self, seq_id: str) -> int:
+        return self._seqs[seq_id].live
+
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            allocated_tokens=self._reserved,
+            live_tokens=sum(s.live for s in self._seqs.values()),
+            capacity_tokens=self.capacity_tokens,
+            copied_tokens=self._copied,
+        )

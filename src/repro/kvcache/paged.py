@@ -1,0 +1,145 @@
+"""PagedAttention-style block manager.
+
+KV storage is carved into fixed-size blocks handed to sequences on
+demand and tracked through per-sequence block tables — vLLM/LMDeploy's
+design.  Growth never copies; memory returns on free.
+
+The subtlety the paper highlights (Section 3.1.2): PagedAttention
+assumes cache length grows monotonically.  Sparse eviction punches holes
+into blocks, and a block is only reclaimable when *every* slot in it is
+dead — so sparsity-induced "free" memory shows up as internal
+fragmentation until whole blocks drain.  ``compact_sequence`` models the
+explicit compaction (gather-copy) an implementation must run to get that
+memory back, at the cost of copied tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.kvcache.base import CapacityError, KVCacheStore, StoreStats
+
+
+@dataclass
+class _Block:
+    """One fixed-size block: which slots are live."""
+
+    live_slots: Set[int] = field(default_factory=set)
+    used_slots: int = 0  # high-water mark of appended slots
+
+
+@dataclass
+class _PagedSeq:
+    blocks: List[int] = field(default_factory=list)
+    length: int = 0
+
+
+class PagedStore(KVCacheStore):
+    """Fixed-block allocator with block tables and hole tracking."""
+
+    def __init__(self, capacity_tokens: int, block_size: int = 16) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        if capacity_tokens < block_size:
+            raise ValueError("capacity must hold at least one block")
+        self.block_size = block_size
+        self.n_blocks = capacity_tokens // block_size
+        self._free: List[int] = list(range(self.n_blocks))
+        self._blocks: Dict[int, _Block] = {}
+        self._seqs: Dict[str, _PagedSeq] = {}
+        self._copied = 0
+
+    # ------------------------------------------------------------------
+    def _alloc_block(self) -> int:
+        if not self._free:
+            raise CapacityError("no free blocks")
+        bid = self._free.pop()
+        self._blocks[bid] = _Block()
+        return bid
+
+    def _release_block(self, bid: int) -> None:
+        del self._blocks[bid]
+        self._free.append(bid)
+
+    def _append_slots(self, seq: _PagedSeq, n: int) -> None:
+        for _ in range(n):
+            slot = seq.length % self.block_size
+            if slot == 0:
+                seq.blocks.append(self._alloc_block())
+            blk = self._blocks[seq.blocks[-1]]
+            blk.live_slots.add(slot)
+            blk.used_slots = max(blk.used_slots, slot + 1)
+            seq.length += 1
+
+    # ------------------------------------------------------------------
+    def add_sequence(self, seq_id: str, prompt_tokens: int) -> None:
+        if seq_id in self._seqs:
+            raise KeyError(f"sequence {seq_id!r} already present")
+        if prompt_tokens < 1:
+            raise ValueError("prompt_tokens must be positive")
+        seq = _PagedSeq()
+        try:
+            self._append_slots(seq, prompt_tokens)
+        except CapacityError:
+            for bid in seq.blocks:
+                self._release_block(bid)
+            raise
+        self._seqs[seq_id] = seq
+
+    def append(self, seq_id: str, n_tokens: int = 1) -> None:
+        self._append_slots(self._seqs[seq_id], n_tokens)
+
+    def evict(self, seq_id: str, positions: List[int]) -> None:
+        """Mark slots dead.
+
+        Dead blocks are *not* auto-reclaimed: the position -> block
+        mapping must stay stable for future appends and evictions, so
+        memory only returns via :meth:`compact_sequence` or :meth:`free`
+        — precisely the management friction between sparse eviction and
+        PagedAttention the paper describes.
+        """
+        seq = self._seqs[seq_id]
+        for pos in positions:
+            if not 0 <= pos < seq.length:
+                raise ValueError(f"position {pos} out of range")
+            bid = seq.blocks[pos // self.block_size]
+            self._blocks[bid].live_slots.discard(pos % self.block_size)
+
+    def compact_sequence(self, seq_id: str) -> int:
+        """Gather live tokens into dense blocks; returns tokens copied."""
+        seq = self._seqs[seq_id]
+        live = sum(
+            len(self._blocks[bid].live_slots) for bid in seq.blocks
+        )
+        for bid in seq.blocks:
+            self._release_block(bid)
+        new_seq = _PagedSeq()
+        self._append_slots(new_seq, live)
+        seq.blocks = new_seq.blocks
+        seq.length = new_seq.length
+        self._copied += live
+        return live
+
+    def free(self, seq_id: str) -> None:
+        seq = self._seqs.pop(seq_id)
+        for bid in seq.blocks:
+            self._release_block(bid)
+
+    def sequence_tokens(self, seq_id: str) -> int:
+        seq = self._seqs[seq_id]
+        return sum(len(self._blocks[bid].live_slots) for bid in seq.blocks)
+
+    def sequence_blocks(self, seq_id: str) -> int:
+        """Blocks currently held by a sequence."""
+        return len(self._seqs[seq_id].blocks)
+
+    def stats(self) -> StoreStats:
+        allocated = len(self._blocks) * self.block_size
+        live = sum(len(b.live_slots) for b in self._blocks.values())
+        return StoreStats(
+            allocated_tokens=allocated,
+            live_tokens=live,
+            capacity_tokens=self.n_blocks * self.block_size,
+            copied_tokens=self._copied,
+        )

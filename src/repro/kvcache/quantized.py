@@ -1,0 +1,119 @@
+"""Dual-pool storage for window-based KV quantization.
+
+Window-based quantizers (KIVI, GEAR) keep the most recent ``R`` tokens
+in full precision and the aged body quantized.  Under PagedAttention
+that means *two* paged pools with different bytes-per-slot, plus a
+steady migration of tokens from the FP16 pool into the quantized pool as
+they age out of the window — the deployment complexity the paper calls
+out in Section 3.1.1.  This store makes that bookkeeping concrete and
+measurable (migrations, per-pool occupancy, effective bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.kvcache.base import CapacityError, KVCacheStore, StoreStats
+from repro.kvcache.paged import PagedStore
+
+
+@dataclass
+class _QSeq:
+    length: int = 0
+    fp16_tokens: int = 0
+    quant_tokens: int = 0
+
+
+class QuantizedPagedStore(KVCacheStore):
+    """Two paged pools: quantized body + FP16 residual window."""
+
+    def __init__(
+        self,
+        capacity_tokens: int,
+        block_size: int = 16,
+        residual_window: int = 128,
+        group_size: int = 32,
+        quant_bytes_per_token: float = 0.3125,
+    ) -> None:
+        if residual_window < group_size:
+            raise ValueError("residual window must cover one quant group")
+        # split capacity between pools by expected steady-state mix
+        fp16_share = max(block_size, capacity_tokens // 4)
+        self.fp16_pool = PagedStore(fp16_share, block_size)
+        self.quant_pool = PagedStore(capacity_tokens - fp16_share, block_size)
+        self.residual_window = residual_window
+        self.group_size = group_size
+        self.quant_bytes_per_token = quant_bytes_per_token
+        self._seqs: Dict[str, _QSeq] = {}
+        self.migrated_tokens = 0
+
+    # ------------------------------------------------------------------
+    def _migrate(self, seq_id: str) -> None:
+        """Age full groups out of the FP16 window into the quant pool."""
+        s = self._seqs[seq_id]
+        over = s.fp16_tokens - self.residual_window
+        groups = over // self.group_size
+        if groups <= 0:
+            return
+        n = groups * self.group_size
+        self.quant_pool.append(f"{seq_id}/q", n)
+        evict_positions = list(range(n))  # oldest window slots
+        self.fp16_pool.evict(f"{seq_id}/r", evict_positions)
+        self.fp16_pool.compact_sequence(f"{seq_id}/r")
+        s.fp16_tokens -= n
+        s.quant_tokens += n
+        self.migrated_tokens += n
+
+    def add_sequence(self, seq_id: str, prompt_tokens: int) -> None:
+        if seq_id in self._seqs:
+            raise KeyError(f"sequence {seq_id!r} already present")
+        self.fp16_pool.add_sequence(f"{seq_id}/r", prompt_tokens)
+        self.quant_pool.add_sequence(f"{seq_id}/q", 1)
+        self.quant_pool.evict(f"{seq_id}/q", [0])  # start empty
+        self._seqs[seq_id] = _QSeq(
+            length=prompt_tokens, fp16_tokens=prompt_tokens
+        )
+        self._migrate(seq_id)
+
+    def append(self, seq_id: str, n_tokens: int = 1) -> None:
+        s = self._seqs[seq_id]
+        self.fp16_pool.append(f"{seq_id}/r", n_tokens)
+        s.length += n_tokens
+        s.fp16_tokens += n_tokens
+        self._migrate(seq_id)
+
+    def evict(self, seq_id: str, positions: List[int]) -> None:
+        raise NotImplementedError(
+            "window quantization does not evict tokens; combine with a "
+            "sparse store for Q+S hybrids"
+        )
+
+    def free(self, seq_id: str) -> None:
+        self._seqs.pop(seq_id)
+        self.fp16_pool.free(f"{seq_id}/r")
+        self.quant_pool.free(f"{seq_id}/q")
+
+    def sequence_tokens(self, seq_id: str) -> int:
+        s = self._seqs[seq_id]
+        return s.fp16_tokens + s.quant_tokens
+
+    def effective_bytes_per_token(self, seq_id: str) -> float:
+        """Blended bytes/token (FP16 window vs quantized body), FP16=1."""
+        s = self._seqs[seq_id]
+        total = s.fp16_tokens + s.quant_tokens
+        if total == 0:
+            return 1.0
+        return (
+            s.fp16_tokens * 1.0 + s.quant_tokens * self.quant_bytes_per_token
+        ) / total
+
+    def stats(self) -> StoreStats:
+        a = self.fp16_pool.stats()
+        b = self.quant_pool.stats()
+        return StoreStats(
+            allocated_tokens=a.allocated_tokens + b.allocated_tokens,
+            live_tokens=a.live_tokens + b.live_tokens,
+            capacity_tokens=a.capacity_tokens + b.capacity_tokens,
+            copied_tokens=a.copied_tokens + b.copied_tokens,
+        )

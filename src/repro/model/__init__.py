@@ -1,0 +1,61 @@
+"""Functional NumPy transformer with constructed retrieval circuits.
+
+This package provides the model substrate the accuracy/length studies
+run on: a decoder-only transformer whose heads are built analytically
+(previous-token + induction circuit) so KV-cache compression genuinely
+changes its outputs, plus architecture shape presets of the real models
+(LLaMA/Mistral families) consumed by the analytical cost model.
+"""
+
+from repro.model.arch import (
+    ArchSpec,
+    LLAMA_7B,
+    LLAMA_13B,
+    LLAMA_70B,
+    LLAMA31_8B,
+    MISTRAL_7B,
+    get_arch,
+    list_archs,
+)
+from repro.model.config import (
+    FunctionalModelConfig,
+    HeadRole,
+    llama_sim_config,
+    mistral_sim_config,
+)
+from repro.model.tokenizer import SyntheticTokenizer, SpecialTokens
+from repro.model.builder import build_weights, head_biases
+from repro.model.cache import LayerCache, SessionCache
+from repro.model.transformer import (
+    FunctionalTransformer,
+    FlashIncompatibilityError,
+)
+from repro.model.sampling import Sampler
+from repro.model.generate import GenerationOutput, generate, left_pad
+
+__all__ = [
+    "ArchSpec",
+    "LLAMA_7B",
+    "LLAMA_13B",
+    "LLAMA_70B",
+    "LLAMA31_8B",
+    "MISTRAL_7B",
+    "get_arch",
+    "list_archs",
+    "FunctionalModelConfig",
+    "HeadRole",
+    "llama_sim_config",
+    "mistral_sim_config",
+    "SyntheticTokenizer",
+    "SpecialTokens",
+    "build_weights",
+    "head_biases",
+    "LayerCache",
+    "SessionCache",
+    "FunctionalTransformer",
+    "FlashIncompatibilityError",
+    "Sampler",
+    "GenerationOutput",
+    "generate",
+    "left_pad",
+]

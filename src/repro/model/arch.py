@@ -1,0 +1,116 @@
+"""Architecture descriptions of the LLMs the paper benchmarks.
+
+:class:`ArchSpec` is a pure shape description shared by the analytical
+cost model (:mod:`repro.engines`) and the memory model
+(:mod:`repro.hardware.memory`).  The presets match the published
+configurations of the model families used in the paper's evaluation
+(LLaMA-2 7B/13B/70B, LLaMA-3.1-8B, Mistral-7B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Transformer decoder shape parameters.
+
+    Attributes
+    ----------
+    name: model family/size label.
+    n_layers: number of decoder layers.
+    d_model: hidden size.
+    n_heads: query heads.
+    n_kv_heads: key/value heads (``< n_heads`` for GQA models).
+    head_dim: per-head dimension.
+    d_ff: MLP intermediate size (SwiGLU: three ``d_model x d_ff`` mats).
+    vocab_size: vocabulary size.
+    dtype_bytes: bytes per weight/activation element (2 for FP16).
+    """
+
+    name: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    n_kv_heads: int
+    head_dim: int
+    d_ff: int
+    vocab_size: int
+    dtype_bytes: int = 2
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the concatenated K (or V) projection output."""
+        return self.n_kv_heads * self.head_dim
+
+    @property
+    def q_dim(self) -> int:
+        """Width of the Q projection output."""
+        return self.n_heads * self.head_dim
+
+    @property
+    def gqa_group(self) -> int:
+        """Query heads per KV head."""
+        return self.n_heads // self.n_kv_heads
+
+    def param_count(self) -> int:
+        """Approximate parameter count (attention + MLP + embeddings)."""
+        attn = self.d_model * (self.q_dim + 2 * self.kv_dim) + self.q_dim * self.d_model
+        mlp = 3 * self.d_model * self.d_ff
+        norms = 2 * self.d_model
+        per_layer = attn + mlp + norms
+        embed = self.vocab_size * self.d_model
+        return self.n_layers * per_layer + 2 * embed
+
+    def weight_bytes(self) -> int:
+        """Total weight storage in bytes."""
+        return self.param_count() * self.dtype_bytes
+
+    def kv_bytes_per_token(self) -> int:
+        """FP16 KV-cache bytes per token across all layers (K and V)."""
+        return 2 * self.n_layers * self.kv_dim * self.dtype_bytes
+
+    def kv_bytes_per_token_per_layer(self) -> int:
+        """FP16 KV-cache bytes per token for one layer (K and V)."""
+        return 2 * self.kv_dim * self.dtype_bytes
+
+
+LLAMA_7B = ArchSpec(
+    name="llama-7b", n_layers=32, d_model=4096, n_heads=32, n_kv_heads=32,
+    head_dim=128, d_ff=11008, vocab_size=32000,
+)
+
+LLAMA_13B = ArchSpec(
+    name="llama-13b", n_layers=40, d_model=5120, n_heads=40, n_kv_heads=40,
+    head_dim=128, d_ff=13824, vocab_size=32000,
+)
+
+LLAMA_70B = ArchSpec(
+    name="llama-70b", n_layers=80, d_model=8192, n_heads=64, n_kv_heads=8,
+    head_dim=128, d_ff=28672, vocab_size=32000,
+)
+
+LLAMA31_8B = ArchSpec(
+    name="llama3.1-8b", n_layers=32, d_model=4096, n_heads=32, n_kv_heads=8,
+    head_dim=128, d_ff=14336, vocab_size=128256,
+)
+
+MISTRAL_7B = ArchSpec(
+    name="mistral-7b", n_layers=32, d_model=4096, n_heads=32, n_kv_heads=8,
+    head_dim=128, d_ff=14336, vocab_size=32000,
+)
+
+_ARCHS = {a.name: a for a in (LLAMA_7B, LLAMA_13B, LLAMA_70B, LLAMA31_8B, MISTRAL_7B)}
+
+
+def get_arch(name: str) -> ArchSpec:
+    """Look up an architecture preset by name."""
+    if name not in _ARCHS:
+        raise KeyError(f"unknown arch {name!r}; known: {sorted(_ARCHS)}")
+    return _ARCHS[name]
+
+
+def list_archs() -> list:
+    """Names of all registered architecture presets."""
+    return sorted(_ARCHS)

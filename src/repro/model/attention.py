@@ -1,0 +1,188 @@
+"""Attention kernels of the functional model.
+
+Two numerically equivalent implementations are provided:
+
+- :func:`naive_attention` materializes the full score and probability
+  matrices (the "multi-pass" pattern of the eager transformers library).
+  It returns the attention probabilities, which score-based eviction
+  policies (H2O, SnapKV) consume.
+- :func:`flash_attention` computes the same output with streaming/online
+  softmax over key tiles and never materializes probabilities.  This is
+  the one-pass FlashAttention pattern; its inability to return
+  probabilities is exactly the incompatibility the paper highlights
+  between sparsity-based compression and FlashAttention (Section 3.1.2).
+
+Positional behaviour is expressed as additive score biases per head
+(:class:`HeadBias`), covering the hand-built circuit's previous-token and
+sink heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.model.config import HeadRole
+from repro.model.layers import softmax_inplace
+
+NEG_INF = np.float32(-1e9)
+
+
+@dataclass(frozen=True)
+class HeadBias:
+    """Additive attention-score bias for one head.
+
+    ``kind`` is one of ``"none"``, ``"prev_token"`` (sharply peaked at
+    key position ``i-1``), ``"sink"`` (bonus at key position 0) or
+    ``"recency"`` (mild linear preference for nearby keys — the tie
+    breaker that makes the induction head prefer the *latest* matching
+    record, so distractor records lose by only a small margin).
+    """
+
+    kind: str = "none"
+    strength: float = 0.0
+
+    @staticmethod
+    def for_role(
+        role: HeadRole,
+        prev_bias: float,
+        sink_bias: float,
+        recency_bias: float = 0.0,
+    ) -> "HeadBias":
+        """Bias appropriate for a circuit head role."""
+        if role == HeadRole.PREV_TOKEN:
+            return HeadBias("prev_token", prev_bias)
+        if role == HeadRole.SINK:
+            return HeadBias("sink", sink_bias)
+        if role == HeadRole.INDUCTION and recency_bias:
+            return HeadBias("recency", recency_bias)
+        return HeadBias("none", 0.0)
+
+    def matrix(self, q_pos: np.ndarray, k_pos: np.ndarray) -> np.ndarray:
+        """Bias matrix of shape (len(q_pos), len(k_pos))."""
+        if self.kind == "none" or self.strength == 0.0:
+            return np.zeros((q_pos.size, k_pos.size), dtype=np.float32)
+        if self.kind == "prev_token":
+            dist = np.abs((q_pos[:, None] - 1) - k_pos[None, :])
+            return (-self.strength * dist).astype(np.float32)
+        if self.kind == "sink":
+            bias = np.zeros((q_pos.size, k_pos.size), dtype=np.float32)
+            bias[:, k_pos == 0] = self.strength
+            return bias
+        if self.kind == "recency":
+            dist = np.maximum(q_pos[:, None] - k_pos[None, :], 0)
+            return (-self.strength * dist).astype(np.float32)
+        raise ValueError(f"unknown bias kind {self.kind!r}")
+
+
+def expand_kv(x: np.ndarray, gqa_group: int) -> np.ndarray:
+    """Repeat KV heads to match query heads (GQA)."""
+    if gqa_group == 1:
+        return x
+    return np.repeat(x, gqa_group, axis=1)
+
+
+def build_score_mask(
+    q_pos: np.ndarray, k_pos: np.ndarray, keep: Optional[np.ndarray]
+) -> np.ndarray:
+    """Additive mask combining causality and eviction.
+
+    ``keep`` is (batch, kv_heads, n_keys) boolean (True = retained) or
+    None.  Returns (batch|1, kv_heads|1, n_q, n_keys) additive mask.
+    """
+    causal = k_pos[None, :] <= q_pos[:, None]
+    mask = np.where(causal, np.float32(0.0), NEG_INF)[None, None]
+    if keep is not None:
+        evict = np.where(keep[:, :, None, :], np.float32(0.0), NEG_INF)
+        mask = mask + evict
+    return mask
+
+
+def naive_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q_pos: np.ndarray,
+    k_pos: np.ndarray,
+    biases: List[HeadBias],
+    keep: Optional[np.ndarray] = None,
+    gqa_group: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Multi-pass attention returning (output, probabilities).
+
+    Shapes: q (b, h, sq, dh); k, v (b, kvh, n, dh); output (b, h, sq, dh);
+    probabilities (b, h, sq, n).
+    """
+    b, h, sq, dh = q.shape
+    kx = expand_kv(k, gqa_group)
+    vx = expand_kv(v, gqa_group)
+    scores = q @ np.transpose(kx, (0, 1, 3, 2))
+    scores *= 1.0 / float(np.sqrt(dh))  # python float: no f64 promotion
+    for hi, bias in enumerate(biases):
+        bm = bias.matrix(q_pos, k_pos)
+        if bm.any():
+            scores[:, hi] += bm
+    mask = build_score_mask(q_pos, k_pos, keep)
+    if mask.shape[1] not in (1, h):
+        mask = np.repeat(mask, gqa_group, axis=1)
+    scores += mask
+    probs = softmax_inplace(scores, axis=-1)
+    out = probs @ vx
+    return out, probs
+
+
+def flash_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q_pos: np.ndarray,
+    k_pos: np.ndarray,
+    biases: List[HeadBias],
+    keep: Optional[np.ndarray] = None,
+    gqa_group: int = 1,
+    tile: int = 128,
+) -> np.ndarray:
+    """One-pass streaming-softmax attention (no probabilities returned).
+
+    Numerically equivalent to :func:`naive_attention` output; processes
+    keys in tiles of ``tile`` with the online softmax recurrence.
+    """
+    b, h, sq, dh = q.shape
+    kx = expand_kv(k, gqa_group)
+    vx = expand_kv(v, gqa_group)
+    n = kx.shape[2]
+
+    m = np.full((b, h, sq, 1), -np.inf)
+    l = np.zeros((b, h, sq, 1))
+    acc = np.zeros((b, h, sq, dh))
+
+    full_mask = build_score_mask(q_pos, k_pos, keep)
+    if full_mask.shape[1] not in (1, h):
+        full_mask = np.repeat(full_mask, gqa_group, axis=1)
+
+    for start in range(0, n, tile):
+        stop = min(start + tile, n)
+        kt = kx[:, :, start:stop]
+        vt = vx[:, :, start:stop]
+        s = q @ np.transpose(kt, (0, 1, 3, 2))
+        s *= 1.0 / float(np.sqrt(dh))
+        for hi, bias in enumerate(biases):
+            bm = bias.matrix(q_pos, k_pos[start:stop])
+            if bm.any():
+                s[:, hi] += bm
+        s = s + full_mask[:, :, :, start:stop]
+
+        m_new = np.maximum(m, np.max(s, axis=-1, keepdims=True))
+        # guard: a fully masked tile contributes nothing
+        m_safe = np.where(np.isfinite(m_new), m_new, 0.0)
+        p = np.exp(s - m_safe)
+        p = np.where(np.isfinite(s), p, 0.0)
+        scale = np.where(np.isfinite(m), np.exp(m - m_safe), 0.0)
+        l = l * scale + np.sum(p, axis=-1, keepdims=True)
+        acc = acc * scale + p @ vt
+        m = m_new
+
+    l = np.where(l == 0.0, 1.0, l)
+    return acc / l

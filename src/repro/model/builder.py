@@ -1,0 +1,230 @@
+"""Analytic construction of the functional model's weights.
+
+The functional model is a miniature of the retrieval circuitry found in
+real LLMs (previous-token head + induction head, cf. the transformer
+circuits literature).  Because the circuit is constructed rather than
+trained, its behaviour is interpretable and deterministic, yet it is
+implemented with the *same* tensors a real model would cache — so KV
+quantization perturbs genuine attention logits and KV eviction removes
+genuinely needed keys.
+
+Circuit summary (default 2-layer config):
+
+- layer 0, head 0 (``PREV_TOKEN``): attends to position ``i-1`` via a
+  sharp ALiBi-style bias and copies the previous token's one-hot identity
+  into the ``prev`` subspace of the residual stream.
+- layer 1, head 1 (``INDUCTION``): queries with the current token's
+  identity against the ``prev`` subspace, thereby attending to tokens
+  *following earlier occurrences* of the current token, and copies the
+  attended token's identity into the ``out`` subspace with gain ``gamma``.
+- layer 1, head 0 (``SALIENCE``): near-uniform attention that adds a
+  frequency prior over the context to ``out`` with small gain ``delta``.
+- layer 1, head 2 (``SINK``): attends to position 0, reproducing the
+  attention-sink phenomenon StreamingLLM exploits.
+- remaining heads and the SwiGLU MLPs carry small random weights
+  (``noise_scale``) standing in for everything a real model does besides
+  this circuit.
+
+The unembedding reads ``out`` and additionally routes a retrieved ``SEP``
+onto ``EOS``; generation therefore stops exactly when the circuit
+retrieves the end of an answer span — and *fails to stop* when
+compression degrades that retrieval, which is the mechanism behind the
+paper's length-inflation observation (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.model.attention import HeadBias
+from repro.model.config import FunctionalModelConfig, HeadRole
+from repro.model.layers import (
+    AttentionWeights,
+    LayerWeights,
+    MLPWeights,
+    ModelWeights,
+)
+from repro.model.tokenizer import SyntheticTokenizer
+
+def token_magnitudes(config: FunctionalModelConfig) -> np.ndarray:
+    """Per-token embedding magnitudes.
+
+    Content tokens carry log-normally distributed magnitudes (clipped to
+    ``magnitude_clip``); special tokens stay at exactly 1.  The spread
+    creates the weak-key / outlier structure that makes group
+    quantization genuinely lossy: a group's quantization step is set by
+    its largest-magnitude token, so weak keys — whose retrieval margin
+    is already marginal against the softmax noise floor of a long
+    context — suffer the largest *relative* perturbation.  This is the
+    mechanism by which per-sample accuracy collapses under quantization
+    (the paper's negative samples) while average accuracy stays high.
+    """
+    rng = np.random.default_rng(config.seed + 1)
+    tok = SyntheticTokenizer(config.vocab_size)
+    m = np.exp(rng.normal(0.0, config.magnitude_sigma, size=config.vocab_size))
+    lo, hi = config.magnitude_clip
+    m = np.clip(m, lo, hi)
+    m[: tok.content_start] = 1.0
+    return m
+
+
+def code_matrix(config: FunctionalModelConfig) -> np.ndarray:
+    """Dense orthonormal token codes (vocab, vocab).
+
+    Token identities are represented by rows of a random rotation rather
+    than one-hot vectors.  Orthonormality preserves the circuit's exact
+    matching semantics, while density makes the cached K/V tensors look
+    like real activations: no entry coincides with a quantization-group
+    extremum, so round-to-nearest quantization perturbs *every*
+    retrieval — the property the negative-sample study depends on.
+    """
+    rng = np.random.default_rng(config.seed + 2)
+    v = config.vocab_size
+    q, r = np.linalg.qr(rng.normal(size=(v, v)))
+    return q * np.sign(np.diag(r))
+
+
+def _reader(config: FunctionalModelConfig, subspace: str) -> np.ndarray:
+    """(d_model, head_dim) matrix extracting a vocab-sized subspace."""
+    d, v, dh = config.d_model, config.vocab_size, config.head_dim
+    if dh != v:
+        raise ValueError("circuit construction requires head_dim == vocab_size")
+    start, stop = config.subspace(subspace)
+    m = np.zeros((d, dh))
+    m[start:stop, :] = np.eye(v)
+    return m
+
+
+def _writer(config: FunctionalModelConfig, subspace: str) -> np.ndarray:
+    """(head_dim, d_model) matrix injecting into a vocab-sized subspace."""
+    d, v, dh = config.d_model, config.vocab_size, config.head_dim
+    start, stop = config.subspace(subspace)
+    m = np.zeros((dh, d))
+    m[:, start:stop] = np.eye(v)
+    return m
+
+
+def _noise(rng: np.random.Generator, shape, scale: float) -> np.ndarray:
+    return rng.normal(0.0, scale, size=shape)
+
+
+def _kv_group_roles(
+    roles: List[HeadRole], gqa_group: int
+) -> List[List[HeadRole]]:
+    """Roles of the query heads served by each KV head."""
+    return [
+        roles[g * gqa_group : (g + 1) * gqa_group]
+        for g in range(len(roles) // gqa_group)
+    ]
+
+
+def build_weights(config: FunctionalModelConfig) -> ModelWeights:
+    """Construct all weights for ``config``."""
+    rng = np.random.default_rng(config.seed)
+    d, v, dh = config.d_model, config.vocab_size, config.head_dim
+    h, kvh, g = config.n_heads, config.n_kv_heads, config.gqa_group
+    roles = config.head_roles()
+    ns = config.noise_scale
+
+    cur_start, _ = config.subspace("cur")
+    magnitudes = token_magnitudes(config)
+    codes = code_matrix(config)
+    embedding = _noise(rng, (v, d), config.embed_noise)
+    embedding[:, cur_start : cur_start + v] += magnitudes[:, None] * codes
+
+    layers = []
+    for li in range(config.n_layers):
+        w_q = np.zeros((d, h * dh))
+        w_k = np.zeros((d, kvh * dh))
+        w_v = np.zeros((d, kvh * dh))
+        w_o = np.zeros((h * dh, d))
+
+        for kv_idx, group_roles in enumerate(_kv_group_roles(roles[li], g)):
+            ks = slice(kv_idx * dh, (kv_idx + 1) * dh)
+            if HeadRole.INDUCTION in group_roles:
+                w_k[:, ks] = _reader(config, "prev")
+            else:
+                w_k[:, ks] = _noise(rng, (d, dh), ns)
+            wants_cur_v = any(
+                r in (HeadRole.INDUCTION, HeadRole.SALIENCE, HeadRole.PREV_TOKEN)
+                for r in group_roles
+            )
+            if wants_cur_v:
+                w_v[:, ks] = _reader(config, "cur")
+            else:
+                w_v[:, ks] = _noise(rng, (d, dh), ns)
+
+        for hi, role in enumerate(roles[li]):
+            qs = slice(hi * dh, (hi + 1) * dh)
+            if role == HeadRole.INDUCTION:
+                w_q[:, qs] = config.induction_scale * _reader(config, "cur")
+                w_o[qs, :] = config.induction_out * _writer(config, "out")
+            elif role == HeadRole.PREV_TOKEN:
+                w_q[:, qs] = 0.0
+                w_o[qs, :] = _writer(config, "prev")
+            elif role == HeadRole.SALIENCE:
+                w_q[:, qs] = 0.0
+                w_o[qs, :] = config.salience_out * _writer(config, "out")
+            else:  # SINK and NOISE heads perturb, not compute
+                w_q[:, qs] = _noise(rng, (d, dh), ns)
+                w_o[qs, :] = _noise(rng, (dh, d), ns * 0.5)
+
+        mlp = MLPWeights(
+            w_gate=_noise(rng, (d, config.d_ff), ns / np.sqrt(d)),
+            w_up=_noise(rng, (d, config.d_ff), ns / np.sqrt(d)),
+            w_down=_noise(rng, (config.d_ff, d), ns / np.sqrt(config.d_ff)),
+        )
+        layers.append(
+            LayerWeights(
+                attn=AttentionWeights(w_q=w_q, w_k=w_k, w_v=w_v, w_o=w_o),
+                mlp=mlp,
+            )
+        )
+
+    tok = SyntheticTokenizer(v)
+    out_start, _ = config.subspace("out")
+    unembedding = np.zeros((d, v))
+    # decode the dense code basis, normalized by token magnitude so the
+    # output confidence reflects attention quality alone:
+    # logit_t = <code_t, out> / m_t
+    unembedding[out_start : out_start + v, :] = (codes / magnitudes[:, None]).T
+    # retrieved SEP terminates generation: route it onto EOS
+    sep, eos = tok.special.sep, tok.special.eos
+    unembedding[:, eos] += unembedding[:, sep]
+    unembedding[:, sep] = 0.0
+    # never emit padding/bos/structure tokens directly
+    logit_bias = _noise(rng, (v,), 0.05)
+    logit_bias[tok.special.eos] += config.eos_bias
+    for tid in (tok.special.pad, tok.special.bos):
+        logit_bias[tid] = -1e9
+
+    # float32 throughout: halves memory traffic in the NumPy hot path
+    for lw in layers:
+        for obj, names in ((lw.attn, ("w_q", "w_k", "w_v", "w_o")),
+                           (lw.mlp, ("w_gate", "w_up", "w_down"))):
+            for nm in names:
+                setattr(obj, nm, getattr(obj, nm).astype(np.float32))
+    return ModelWeights(
+        embedding=embedding.astype(np.float32),
+        layers=layers,
+        unembedding=unembedding.astype(np.float32),
+        logit_bias=logit_bias.astype(np.float32),
+    )
+
+
+def head_biases(config: FunctionalModelConfig) -> List[List[HeadBias]]:
+    """Per-layer, per-head additive attention biases for the circuit."""
+    return [
+        [
+            HeadBias.for_role(
+                role,
+                config.prev_bias,
+                config.sink_bias,
+                config.induction_recency,
+            )
+            for role in layer_roles
+        ]
+        for layer_roles in config.head_roles()
+    ]

@@ -1,0 +1,63 @@
+"""Token sampling for the functional model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.model.layers import softmax
+
+
+@dataclass
+class Sampler:
+    """Sampling policy: greedy, temperature and nucleus (top-p).
+
+    ``temperature`` scales logits before softmax (the paper compares
+    length distributions at T of 0.9 / 1.0 / 1.1, Table 5); ``top_p``
+    truncates to the smallest nucleus whose mass exceeds it; ``greedy``
+    short-circuits to argmax (used for accuracy measurements).
+    """
+
+    temperature: float = 1.0
+    top_p: float = 1.0
+    greedy: bool = False
+    seed: Optional[int] = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive; use greedy=True")
+        if not 0 < self.top_p <= 1.0:
+            raise ValueError("top_p must be in (0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the RNG (for reproducible per-batch sampling)."""
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, logits: np.ndarray) -> np.ndarray:
+        """Draw one token id per row of ``logits`` (batch, vocab)."""
+        if self.greedy:
+            return np.argmax(logits, axis=-1)
+        probs = softmax(logits / self.temperature, axis=-1)
+        if self.top_p < 1.0:
+            probs = self._nucleus(probs)
+        # inverse-CDF sampling, vectorized over the batch
+        cdf = np.cumsum(probs, axis=-1)
+        cdf /= cdf[:, -1:]
+        u = self._rng.random((probs.shape[0], 1))
+        return np.argmax(cdf >= u, axis=-1)
+
+    def _nucleus(self, probs: np.ndarray) -> np.ndarray:
+        order = np.argsort(-probs, axis=-1)
+        sorted_p = np.take_along_axis(probs, order, axis=-1)
+        csum = np.cumsum(sorted_p, axis=-1)
+        # keep tokens until cumulative mass first exceeds top_p
+        cutoff = csum - sorted_p >= self.top_p
+        sorted_p = np.where(cutoff, 0.0, sorted_p)
+        out = np.zeros_like(probs)
+        np.put_along_axis(out, order, sorted_p, axis=-1)
+        total = out.sum(axis=-1, keepdims=True)
+        return out / np.where(total == 0, 1.0, total)

@@ -1,0 +1,96 @@
+"""Synthetic vocabulary and tokenizer for the functional model.
+
+The functional transformer (see :mod:`repro.model.builder`) operates on a
+small closed vocabulary.  Special tokens mirror the roles they play in
+real chat LLMs: ``BOS``/``EOS`` delimit sequences, ``SEP`` terminates an
+answer span (the unembedding maps a retrieved ``SEP`` onto ``EOS``, which
+is how generation stops), ``Q``/``A`` mark question/answer structure, and
+the remaining ids are content tokens from which datasets build documents,
+key/value records and code-like lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """Ids of the special tokens in the synthetic vocabulary."""
+
+    pad: int = 0
+    bos: int = 1
+    eos: int = 2
+    sep: int = 3
+    q: int = 4
+    a: int = 5
+    nl: int = 6
+    fn: int = 7
+
+
+class SyntheticTokenizer:
+    """Closed-vocabulary tokenizer for the functional model.
+
+    Parameters
+    ----------
+    vocab_size:
+        Total vocabulary size; ids ``>= content_start`` are content tokens.
+    """
+
+    def __init__(self, vocab_size: int = 64) -> None:
+        if vocab_size < 16:
+            raise ValueError("vocab_size must be at least 16")
+        self.vocab_size = vocab_size
+        self.special = SpecialTokens()
+        self.content_start = 8
+        self._names: Dict[int, str] = {
+            self.special.pad: "<pad>",
+            self.special.bos: "<bos>",
+            self.special.eos: "<eos>",
+            self.special.sep: "<sep>",
+            self.special.q: "<q>",
+            self.special.a: "<a>",
+            self.special.nl: "<nl>",
+            self.special.fn: "<fn>",
+        }
+        for i in range(self.content_start, vocab_size):
+            self._names[i] = f"w{i}"
+        self._ids = {v: k for k, v in self._names.items()}
+
+    @property
+    def content_ids(self) -> List[int]:
+        """All content-token ids."""
+        return list(range(self.content_start, self.vocab_size))
+
+    @property
+    def n_content(self) -> int:
+        """Number of content tokens."""
+        return self.vocab_size - self.content_start
+
+    def name(self, token_id: int) -> str:
+        """Symbolic name of ``token_id``."""
+        return self._names[int(token_id)]
+
+    def id(self, name: str) -> int:
+        """Token id of symbolic ``name``."""
+        return self._ids[name]
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Space-joined symbolic rendering of an id sequence."""
+        return " ".join(self.name(i) for i in ids)
+
+    def encode(self, text: str) -> List[int]:
+        """Inverse of :meth:`decode` for symbolic text."""
+        out = []
+        for tok in text.split():
+            if tok not in self._ids:
+                raise KeyError(f"unknown token {tok!r}")
+            out.append(self._ids[tok])
+        return out
+
+    def validate(self, ids: Sequence[int]) -> None:
+        """Raise if any id is outside the vocabulary."""
+        for i in ids:
+            if not 0 <= int(i) < self.vocab_size:
+                raise ValueError(f"token id {i} outside vocab of {self.vocab_size}")

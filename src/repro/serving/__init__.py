@@ -1,0 +1,24 @@
+"""Discrete-event serving simulation: batching, scheduling, routing."""
+
+from repro.serving.metrics import LatencySummary, cdf, tbot
+from repro.serving.request import ServingRequest
+from repro.serving.router import (
+    RoutedRequest,
+    Router,
+    RouterResult,
+    RoutingPolicy,
+)
+from repro.serving.simulator import ServerInstance, SimulationResult
+
+__all__ = [
+    "LatencySummary",
+    "cdf",
+    "tbot",
+    "ServingRequest",
+    "RoutedRequest",
+    "Router",
+    "RouterResult",
+    "RoutingPolicy",
+    "ServerInstance",
+    "SimulationResult",
+]

@@ -1,0 +1,63 @@
+"""Latency aggregation helpers (TTFT, TBOT, E2E, CDFs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample."""
+
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "LatencySummary":
+        """Build from raw per-request latencies."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            raise ValueError("empty latency sample")
+        return LatencySummary(
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p90=float(np.percentile(arr, 90)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view."""
+        return {
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+def cdf(samples: Sequence[float], n_points: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF evaluated on an even grid (for Fig. 5/16 plots).
+
+    Returns (x, F(x)) arrays of length ``n_points``.
+    """
+    arr = np.sort(np.asarray(samples, dtype=float))
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    xs = np.linspace(arr[0], arr[-1], n_points)
+    ys = np.searchsorted(arr, xs, side="right") / arr.size
+    return xs, ys
+
+
+def tbot(e2e: float, ttft: float, response_len: int) -> float:
+    """Time between output tokens, from an end-to-end measurement."""
+    if response_len <= 1:
+        return 0.0
+    return (e2e - ttft) / (response_len - 1)

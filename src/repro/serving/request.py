@@ -1,0 +1,52 @@
+"""Request lifecycle records for the serving simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ServingRequest:
+    """One request as seen by the serving simulator.
+
+    ``response_len`` is the number of tokens the model will generate for
+    this request *under the serving instance's compression algorithm* —
+    supplied by the caller (functional-model generation or a length
+    model), since compression changes response lengths (Section 4.3).
+    """
+
+    request_id: str
+    arrival: float
+    prompt_len: int
+    response_len: int
+
+    # filled in by the simulator
+    prefill_start: Optional[float] = None
+    first_token: Optional[float] = None
+    finish: Optional[float] = None
+    generated: int = 0
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (seconds)."""
+        if self.first_token is None:
+            raise RuntimeError(f"request {self.request_id} not yet served")
+        return self.first_token - self.arrival
+
+    @property
+    def e2e_latency(self) -> float:
+        """End-to-end latency (seconds)."""
+        if self.finish is None:
+            raise RuntimeError(f"request {self.request_id} not yet served")
+        return self.finish - self.arrival
+
+    @property
+    def done(self) -> bool:
+        """Whether generation finished."""
+        return self.generated >= self.response_len
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt plus full response tokens."""
+        return self.prompt_len + self.response_len

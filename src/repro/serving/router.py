@@ -1,0 +1,182 @@
+"""Request router combining the paper's throughput and length predictors.
+
+Reproduces the Section 5.4 experiment: four serving instances, one
+running FP16 and three running a compression algorithm, with four
+routing policies:
+
+- ``load_balance`` — the baseline: route to the instance with the least
+  outstanding KV tokens (the paper's "minimum memory usage").
+- ``throughput``  — route to the instance whose *predicted* decode
+  throughput for this request is highest.
+- ``length``      — route to the instance with the smallest *predicted*
+  response length.
+- ``both``        — route to the instance with the smallest predicted
+  end-to-end latency (prefill + predicted length / predicted decode
+  throughput + queued work).
+
+The router makes assignment decisions from predictor estimates and a
+lightweight live load model, then each instance's assigned stream is
+served by :class:`repro.serving.simulator.ServerInstance`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.request import ServingRequest
+from repro.serving.simulator import ServerInstance, SimulationResult
+
+#: (algo_name, batch, kv_len) -> predicted decode tokens/second
+ThroughputFn = Callable[[str, int, int], float]
+#: (request, algo_name) -> predicted response tokens
+LengthFn = Callable[["RoutedRequest", str], float]
+
+
+class RoutingPolicy(enum.Enum):
+    """Routing policies evaluated in Table 8."""
+
+    LOAD_BALANCE = "load_balance"
+    THROUGHPUT = "throughput"
+    LENGTH = "length"
+    BOTH = "both"
+
+
+@dataclass
+class RoutedRequest:
+    """A request plus its per-algorithm true response lengths."""
+
+    request_id: str
+    arrival: float
+    prompt_len: int
+    intended_len: int
+    lengths_by_algo: Dict[str, int]
+
+
+@dataclass
+class RouterResult:
+    """Merged outcome of a routed simulation."""
+
+    results: List[SimulationResult]
+    assignment: Dict[str, int]
+
+    def mean_e2e(self) -> float:
+        """Average end-to-end latency over all requests."""
+        lats = np.concatenate([r.e2e for r in self.results if r.requests])
+        return float(lats.mean())
+
+    def all_e2e(self) -> np.ndarray:
+        """All end-to-end latencies."""
+        return np.concatenate([r.e2e for r in self.results if r.requests])
+
+
+class Router:
+    """Greedy predictor-guided router over heterogeneous instances."""
+
+    def __init__(
+        self,
+        instances: Sequence[ServerInstance],
+        algos: Sequence[str],
+        policy: RoutingPolicy,
+        throughput_fn: Optional[ThroughputFn] = None,
+        length_fn: Optional[LengthFn] = None,
+    ) -> None:
+        if len(instances) != len(algos):
+            raise ValueError("one algorithm label per instance required")
+        needs_tp = policy in (RoutingPolicy.THROUGHPUT, RoutingPolicy.BOTH)
+        needs_len = policy in (RoutingPolicy.LENGTH, RoutingPolicy.BOTH)
+        if needs_tp and throughput_fn is None:
+            raise ValueError(f"{policy} requires a throughput predictor")
+        if needs_len and length_fn is None:
+            raise ValueError(f"{policy} requires a length predictor")
+        self.instances = list(instances)
+        self.algos = list(algos)
+        self.policy = policy
+        self.throughput_fn = throughput_fn
+        self.length_fn = length_fn
+
+    # ------------------------------------------------------------------
+    def _estimate(
+        self,
+        req: RoutedRequest,
+        idx: int,
+        load_tokens: np.ndarray,
+        load_seconds: np.ndarray,
+    ) -> Tuple[float, float, float]:
+        """(pred_throughput, pred_length, pred_e2e) for instance ``idx``."""
+        algo = self.algos[idx]
+        inst = self.instances[idx]
+        pred_len = (
+            self.length_fn(req, algo)
+            if self.length_fn
+            else float(req.intended_len)
+        )
+        active = 1 + int(load_tokens[idx] / max(1, req.prompt_len + pred_len))
+        active = min(active, inst.max_batch)
+        kv = int(req.prompt_len + pred_len / 2)
+        per_seq_rate = 1.0
+        if self.throughput_fn:
+            # per-sequence decode rate at the load this request would join
+            per_seq_rate = self.throughput_fn(algo, active, kv) / active
+        prefill = inst.cost_model.prefill(1, req.prompt_len, inst.comp).seconds
+        decode = pred_len / max(per_seq_rate, 1e-6)
+        e2e = load_seconds[idx] + prefill + decode
+        return per_seq_rate, pred_len, e2e
+
+    def _pick(self, req, load_tokens, load_seconds) -> int:
+        n = len(self.instances)
+        if self.policy == RoutingPolicy.LOAD_BALANCE:
+            return int(np.argmin(load_tokens))
+        est = [self._estimate(req, i, load_tokens, load_seconds) for i in range(n)]
+        if self.policy == RoutingPolicy.THROUGHPUT:
+            # highest *per-sequence* decode rate this request would see
+            return int(np.argmax([e[0] for e in est]))
+        if self.policy == RoutingPolicy.LENGTH:
+            return int(np.argmin([e[1] for e in est]))
+        return int(np.argmin([e[2] for e in est]))
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[RoutedRequest]) -> RouterResult:
+        """Assign and simulate ``requests``; returns merged latencies."""
+        n = len(self.instances)
+        load_tokens = np.zeros(n)
+        load_seconds = np.zeros(n)
+        streams: List[List[ServingRequest]] = [[] for _ in range(n)]
+        assignment: Dict[str, int] = {}
+        # rough drain rate for the live-load decay (tokens/s per instance)
+        drain = np.array(
+            [
+                inst.cost_model.decode_throughput(8, 1024, inst.comp) or 1.0
+                for inst in self.instances
+            ]
+        )
+        last_arrival = 0.0
+        for req in sorted(requests, key=lambda r: r.arrival):
+            dt = req.arrival - last_arrival
+            last_arrival = req.arrival
+            load_tokens = np.maximum(0.0, load_tokens - drain * dt)
+            load_seconds = np.maximum(0.0, load_seconds - dt)
+            idx = self._pick(req, load_tokens, load_seconds)
+            algo = self.algos[idx]
+            true_len = req.lengths_by_algo[algo]
+            streams[idx].append(
+                ServingRequest(
+                    request_id=req.request_id,
+                    arrival=req.arrival,
+                    prompt_len=req.prompt_len,
+                    response_len=max(1, true_len),
+                )
+            )
+            assignment[req.request_id] = idx
+            load_tokens[idx] += req.prompt_len + true_len
+            inst = self.instances[idx]
+            per_tok = 1.0 / max(drain[idx], 1e-6)
+            load_seconds[idx] += true_len * per_tok * 4
+        results = [
+            inst.run(stream) if stream else SimulationResult(requests=[])
+            for inst, stream in zip(self.instances, streams)
+        ]
+        return RouterResult(results=results, assignment=assignment)

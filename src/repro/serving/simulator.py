@@ -1,0 +1,207 @@
+"""Discrete-event simulator of one serving instance.
+
+Implements iteration-level (continuous) batching as in LMDeploy/vLLM:
+each loop iteration either admits a waiting request (running its prefill)
+or executes one decode step for the whole running batch, with step times
+priced by the analytical :class:`repro.engines.base.ServingCostModel`.
+Admission is gated by a KV-token budget derived from the memory model,
+so compression algorithms with smaller caches admit more concurrency —
+the systems-level benefit KV compression is meant to buy.
+
+Engines without continuous batching (eager TRL) fall back to static
+batching: a batch is formed from waiting requests, prefilled together
+and decoded until *all* members finish (stragglers hold the batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.compression.base import CompressionCostSpec
+from repro.engines.base import ServingCostModel
+from repro.serving.request import ServingRequest
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of serving a request stream on one instance."""
+
+    requests: List[ServingRequest]
+
+    def _collect(self, attr: str) -> np.ndarray:
+        return np.array([getattr(r, attr) for r in self.requests])
+
+    @property
+    def e2e(self) -> np.ndarray:
+        """Per-request end-to-end latencies."""
+        return self._collect("e2e_latency")
+
+    @property
+    def ttft(self) -> np.ndarray:
+        """Per-request times to first token."""
+        return self._collect("ttft")
+
+    def mean_e2e(self) -> float:
+        """Average end-to-end latency (Table 8's headline metric)."""
+        return float(self.e2e.mean())
+
+    def percentile_e2e(self, q: float) -> float:
+        """E2E latency percentile (e.g. 99 for tail latency)."""
+        return float(np.percentile(self.e2e, q))
+
+
+class ServerInstance:
+    """One GPU (or TP group) running one compression configuration."""
+
+    def __init__(
+        self,
+        cost_model: ServingCostModel,
+        comp: CompressionCostSpec,
+        max_batch: int = 64,
+        decode_block: int = 8,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.cost_model = cost_model
+        self.comp = comp
+        self.max_batch = max_batch
+        self.decode_block = decode_block
+        self.token_budget = self._token_budget()
+
+    def _token_budget(self) -> int:
+        """KV tokens that fit alongside weights and workspace."""
+        spec = self.cost_model._memory_spec(self.comp)
+        mem = self.cost_model.memory
+        lo, hi = 0, 4_000_000
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if mem.breakdown(spec, 1, mid).fits:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _request_tokens(self, req: ServingRequest) -> int:
+        """KV tokens a request will occupy at its peak."""
+        total = req.total_tokens
+        if self.comp.sparse_budget is not None:
+            total = min(total, self.comp.sparse_budget + req.response_len)
+        return total
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[ServingRequest]) -> SimulationResult:
+        """Serve ``requests`` (sorted by arrival); returns latencies."""
+        reqs = sorted(requests, key=lambda r: r.arrival)
+        if self.cost_model.engine.supports_continuous_batching:
+            self._run_continuous(reqs)
+        else:
+            self._run_static(reqs)
+        return SimulationResult(requests=list(reqs))
+
+    # ------------------------------------------------------------------
+    def _decode_kv_len(self, running: List[ServingRequest]) -> int:
+        lens = [r.prompt_len + r.generated for r in running]
+        return int(np.mean(lens)) if lens else 0
+
+    def _run_continuous(self, reqs: List[ServingRequest]) -> None:
+        clock = 0.0
+        waiting = list(reqs)
+        running: List[ServingRequest] = []
+        used_tokens = 0
+
+        while waiting or running:
+            # admit every arrived request that fits
+            admitted = False
+            while waiting and len(running) < self.max_batch:
+                nxt = waiting[0]
+                if nxt.arrival > clock and not running:
+                    clock = nxt.arrival  # idle until next arrival
+                if nxt.arrival > clock:
+                    break
+                need = self._request_tokens(nxt)
+                if used_tokens + need > self.token_budget:
+                    break
+                waiting.pop(0)
+                nxt.prefill_start = clock
+                cost = self.cost_model.prefill(1, nxt.prompt_len, self.comp)
+                clock += cost.seconds
+                nxt.first_token = clock
+                nxt.generated = 1
+                used_tokens += need
+                running.append(nxt)
+                admitted = True
+                if nxt.done:
+                    nxt.finish = clock
+                    running.remove(nxt)
+                    used_tokens -= need
+            if admitted:
+                continue
+            if not running:
+                continue  # loop back; clock jumps to next arrival
+
+            # a block of decode steps for the whole running batch
+            kv = self._decode_kv_len(running)
+            step = self.cost_model.decode_step(len(running), kv, self.comp)
+            steps = self.decode_block
+            if waiting and waiting[0].arrival > clock:
+                # don't overshoot the next arrival too far
+                gap = waiting[0].arrival - clock
+                steps = max(1, min(steps, int(gap / max(step.seconds, 1e-9)) + 1))
+            for _ in range(steps):
+                clock += step.seconds
+                for r in running:
+                    r.generated += 1
+                finished = [r for r in running if r.done]
+                for r in finished:
+                    r.finish = clock
+                    running.remove(r)
+                    used_tokens -= self._request_tokens(r)
+                if finished:
+                    break
+
+    def _run_static(self, reqs: List[ServingRequest]) -> None:
+        clock = 0.0
+        idx = 0
+        n = len(reqs)
+        while idx < n:
+            batch: List[ServingRequest] = []
+            clock = max(clock, reqs[idx].arrival)
+            used = 0
+            while (
+                idx < n
+                and len(batch) < self.max_batch
+                and reqs[idx].arrival <= clock
+            ):
+                need = self._request_tokens(reqs[idx])
+                if used + need > self.token_budget:
+                    break
+                used += need
+                batch.append(reqs[idx])
+                idx += 1
+            if not batch:
+                clock = reqs[idx].arrival
+                continue
+            max_prompt = max(r.prompt_len for r in batch)
+            cost = self.cost_model.prefill(len(batch), max_prompt, self.comp)
+            for r in batch:
+                r.prefill_start = clock
+            clock += cost.seconds
+            for r in batch:
+                r.first_token = clock
+                r.generated = 1
+            remaining = max(r.response_len for r in batch) - 1
+            for s in range(remaining):
+                kv = max_prompt + 1 + s
+                step = self.cost_model.decode_step(len(batch), kv, self.comp)
+                clock += step.seconds
+                for r in batch:
+                    if not r.done:
+                        r.generated += 1
+                        if r.done:
+                            r.finish = clock
+            for r in batch:
+                if r.finish is None:
+                    r.finish = clock

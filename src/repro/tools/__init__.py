@@ -1,0 +1,33 @@
+"""The paper's Section 5 tool suite.
+
+- :class:`~repro.tools.throughput_predictor.ThroughputPredictor` —
+  operator-profile + interpolation runtime predictor (Vidur-style).
+- :class:`~repro.tools.length_predictor.LengthPredictor` — bucketed
+  response-length classifier per compression algorithm.
+- :class:`~repro.tools.negative_sampler.NegativeSampleAnalysis` —
+  Algorithm 1 negative-sample collection and benchmark construction.
+"""
+
+from repro.tools.features import N_FEATURES, batch_features, prompt_features
+from repro.tools.length_predictor import (
+    LengthPredictor,
+    make_buckets,
+    train_per_algorithm,
+)
+from repro.tools.negative_sampler import (
+    NegativeSampleAnalysis,
+    ScoredSample,
+)
+from repro.tools.throughput_predictor import ThroughputPredictor
+
+__all__ = [
+    "N_FEATURES",
+    "batch_features",
+    "prompt_features",
+    "LengthPredictor",
+    "make_buckets",
+    "train_per_algorithm",
+    "NegativeSampleAnalysis",
+    "ScoredSample",
+    "ThroughputPredictor",
+]

@@ -1,0 +1,117 @@
+"""Prompt featurization for the length predictor.
+
+A BERT-class encoder fine-tuned on (prompt, response-length) pairs
+learns surface cues: how long the prompt is, how question-like it is,
+how long the answer spans it references are, whether the context
+contains conflicting information.  This module extracts those cues as
+an explicit feature vector so a linear classifier can stand in for the
+paper's BERT/Longformer predictor (Appendix F) without torch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.model.tokenizer import SyntheticTokenizer
+
+N_FEATURES = 14
+
+
+def _record_spans(prompt: Sequence[int], tok: SyntheticTokenizer) -> List[tuple]:
+    """(key, start, value_len) of each ``[Q key ... SEP]`` record."""
+    sp = tok.special
+    spans = []
+    i = 0
+    n = len(prompt)
+    while i < n - 1:
+        if prompt[i] == sp.q and i + 1 < n:
+            key = prompt[i + 1]
+            j = i + 2
+            while j < n and prompt[j] != sp.sep:
+                j += 1
+            if j < n:
+                spans.append((key, i, j - i - 2))
+                i = j
+            else:
+                break
+        i += 1
+    return spans
+
+
+def prompt_features(
+    prompt: Sequence[int],
+    tok: SyntheticTokenizer,
+    token_stats: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Feature vector of length :data:`N_FEATURES` for one prompt.
+
+    ``token_stats`` is an optional per-token-id scalar statistic (e.g.
+    embedding magnitude).  A trained encoder absorbs such statistics
+    from data; passing them explicitly keeps the linear classifier
+    honest while matching what a BERT-class predictor would learn.
+    """
+    sp = tok.special
+    arr = np.asarray(prompt)
+    n = max(1, len(prompt))
+    spans = _record_spans(prompt, tok)
+    final_key = prompt[-1] if prompt else -1
+
+    matching = [(k, s, vl) for (k, s, vl) in spans if k == final_key]
+    answer_span = matching[-1][2] if matching else 0.0
+    n_conflicts = max(0, len(matching) - 1)
+    if matching:
+        depth = (n - matching[-1][1]) / n  # how deep the answer sits
+    else:
+        depth = 1.0
+
+    counts = {
+        t: float(np.sum(arr == t))
+        for t in (sp.q, sp.sep, sp.nl, sp.fn)
+    }
+    record_alpha_start = tok.content_start + tok.n_content // 2
+    frac_record = float(np.mean(arr >= record_alpha_start))
+
+    if token_stats is not None:
+        key_stat = float(token_stats[final_key]) if 0 <= final_key < len(token_stats) else 1.0
+        if matching:
+            k_, s_, vl_ = matching[-1]
+            span_ids = prompt[s_ + 2 : s_ + 2 + vl_]
+            span_stat = float(np.min(token_stats[list(span_ids)])) if span_ids else 1.0
+        else:
+            span_stat = 1.0
+    else:
+        key_stat = 1.0
+        span_stat = 1.0
+
+    feats = np.array(
+        [
+            1.0,  # bias
+            np.log1p(n),
+            counts[sp.q] / n * 100,
+            counts[sp.sep] / n * 100,
+            counts[sp.nl] / n * 100,
+            counts[sp.fn] / n * 100,
+            np.log1p(answer_span),
+            float(n_conflicts),
+            depth,
+            frac_record,
+            key_stat,
+            span_stat,
+            float(len(spans)),
+            np.log1p(np.mean([vl for _, _, vl in spans]) if spans else 0.0),
+        ]
+    )
+    if feats.shape[0] != N_FEATURES:
+        raise AssertionError("feature size drifted from N_FEATURES")
+    return feats
+
+
+def batch_features(
+    prompts: Sequence[Sequence[int]],
+    tok: SyntheticTokenizer,
+    token_stats: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Stacked features, shape (n_prompts, N_FEATURES)."""
+    return np.stack([prompt_features(p, tok, token_stats) for p in prompts])

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.config import llama_sim_config, mistral_sim_config
+from repro.model.tokenizer import SyntheticTokenizer
+from repro.model.transformer import FunctionalTransformer
+
+
+@pytest.fixture(scope="session")
+def llama_model() -> FunctionalTransformer:
+    """Session-shared LLaMA-style functional model."""
+    return FunctionalTransformer(llama_sim_config())
+
+
+@pytest.fixture(scope="session")
+def mistral_model() -> FunctionalTransformer:
+    """Session-shared Mistral-style (GQA) functional model."""
+    return FunctionalTransformer(mistral_sim_config())
+
+
+@pytest.fixture(scope="session")
+def tokenizer() -> SyntheticTokenizer:
+    return SyntheticTokenizer()
+
+
+class PromptFactory:
+    """Builds retrieval prompts the circuit can answer.
+
+    Uses disjoint filler/record alphabets; optionally inserts a decoy
+    record with the same key (conflicting information).
+    """
+
+    def __init__(self, tokenizer: SyntheticTokenizer, seed: int = 0) -> None:
+        self.tok = tokenizer
+        self.rng = np.random.default_rng(seed)
+        content = tokenizer.content_ids
+        half = len(content) // 2
+        self.filler_alpha = content[:half]
+        self.record_alpha = content[half:]
+
+    def filler(self, n: int):
+        return [int(x) for x in self.rng.choice(self.filler_alpha, size=n)]
+
+    def make(
+        self,
+        depth: int = 64,
+        tail: int = 64,
+        ans_len: int = 3,
+        decoy_gap: int = 0,
+    ):
+        """Returns (prompt, answer, decoy_answer_or_None)."""
+        sp = self.tok.special
+        key = int(self.rng.choice(self.record_alpha))
+        pool = [c for c in self.record_alpha if c != key]
+        picks = self.rng.choice(pool, size=2 * ans_len, replace=False)
+        answer = [int(x) for x in picks[:ans_len]]
+        decoy = [int(x) for x in picks[ans_len:]]
+        parts = [sp.bos] + self.filler(depth)
+        if decoy_gap > 0:
+            parts += [sp.q, key] + decoy + [sp.sep] + self.filler(decoy_gap)
+        parts += [sp.q, key] + answer + [sp.sep]
+        parts += self.filler(tail) + [sp.q, key]
+        return parts, answer, (decoy if decoy_gap else None)
+
+
+@pytest.fixture()
+def prompt_factory(tokenizer) -> PromptFactory:
+    return PromptFactory(tokenizer, seed=1234)

@@ -1,0 +1,162 @@
+"""Tests for evaluation runner, length statistics, semantics, reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    SemanticScorer,
+    VariationRatios,
+    d_histogram,
+    d_kde,
+    dict_rows,
+    evaluate_algorithm,
+    evaluate_suite,
+    flatness,
+    format_series,
+    format_speedup,
+    format_table,
+    length_difference,
+    mean_score,
+    mean_score_by_task,
+    verbose_fraction,
+)
+from repro.datasets import LongBenchSim
+
+
+class TestLengthStats:
+    def test_d_sign_convention(self):
+        d = length_difference([10, 10], [5, 20])
+        assert d[0] == pytest.approx(0.5)    # shorter -> positive
+        assert d[1] == pytest.approx(-1.0)   # longer -> negative
+
+    def test_zero_baseline_guarded(self):
+        d = length_difference([0], [5])
+        assert np.isfinite(d).all()
+
+    def test_variation_ratios(self):
+        d = np.array([0.6, -0.6, 0.0, -0.2])
+        vr = VariationRatios.from_d(d)
+        assert vr.shorter_50 == pytest.approx(25.0)
+        assert vr.longer_50 == pytest.approx(25.0)
+
+    def test_histogram_clipping(self):
+        d = np.array([-10.0, 0.5, 0.9])
+        centers, counts = d_histogram(d, bins=10, clip=4.0)
+        assert counts.sum() == 3
+        assert centers.min() >= -4.0 and centers.max() <= 1.0
+
+    def test_kde_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        d = rng.normal(-0.5, 0.4, size=400)
+        xs, ys = d_kde(d, grid=400)
+        area = np.trapezoid(ys, xs)
+        assert area == pytest.approx(1.0, abs=0.12)
+
+    def test_kde_degenerate_distribution(self):
+        xs, ys = d_kde(np.zeros(10))
+        assert np.isfinite(ys).all()
+
+    def test_flatness_orders_spreads(self):
+        rng = np.random.default_rng(1)
+        tight = rng.normal(0, 0.1, 500)
+        wide = rng.normal(0, 0.8, 500)
+        assert flatness(wide) > flatness(tight)
+
+    def test_verbose_fraction(self):
+        frac = verbose_fraction(
+            base_scores=[0.9, 0.9],
+            comp_scores=[0.8, 1.0],
+            base_lens=[10, 10],
+            comp_lens=[15, 15],
+        )
+        assert frac == pytest.approx(0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lu=st.lists(st.integers(1, 100), min_size=1, max_size=20),
+    )
+    def test_identical_lengths_give_zero_d(self, lu):
+        d = length_difference(lu, lu)
+        np.testing.assert_allclose(d, 0.0)
+
+
+class TestSemanticScorer:
+    def test_identity_scores_one(self):
+        s = SemanticScorer()
+        assert s.score([10, 11, 12], [10, 11, 12]) == pytest.approx(1.0)
+
+    def test_disjoint_scores_low(self):
+        s = SemanticScorer()
+        assert s.score([10, 11], [50, 51]) < 0.3
+
+    def test_order_invariant(self):
+        s = SemanticScorer()
+        assert s.score([10, 11, 12], [12, 11, 10]) == pytest.approx(1.0)
+
+    def test_empty_handling(self):
+        s = SemanticScorer()
+        assert s.score([], []) == 1.0
+        assert s.score([], [10]) == 0.0
+
+    def test_out_of_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticScorer().embed([999])
+
+    def test_score_many_alignment(self):
+        s = SemanticScorer()
+        with pytest.raises(ValueError):
+            s.score_many([[1]], [[1], [2]])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.345], [10, 3.0]], title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "2.35" in out or "2.34" in out
+
+    def test_format_series(self):
+        out = format_series("x", [1, 2], [0.5, 0.25])
+        assert out.startswith("x:") and "(1," in out
+
+    def test_format_speedup(self):
+        assert format_speedup(1.337) == "1.34x"
+        assert format_speedup(float("nan")) == "OOM"
+        assert format_speedup(0.0) == "OOM"
+
+    def test_dict_rows(self):
+        rows = dict_rows({"b": {"x": 1}, "a": {"x": 2, "y": 3}})
+        assert rows[0][0] == "a"
+        assert rows[0][1] == 2
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return LongBenchSim(
+            seed=9, min_context=300, max_context=600
+        ).build(2, tasks=("qa_single", "fewshot"))
+
+    def test_evaluate_algorithm_records(self, llama_model, samples):
+        records = evaluate_algorithm(
+            llama_model, samples, "fp16", batch_size=4, max_new_tokens=16
+        )
+        assert len(records) == len(samples)
+        assert all(r.algo == "fp16" for r in records)
+        assert all(0 <= r.score <= 1 for r in records)
+        # record order matches sample order despite length-sorted batching
+        assert [r.sample_id for r in records] == [
+            s.sample_id for s in samples
+        ]
+
+    def test_evaluate_suite_and_aggregates(self, llama_model, samples):
+        results = evaluate_suite(
+            llama_model, samples, ("fp16", "stream-256"),
+            batch_size=4, max_new_tokens=16,
+        )
+        assert set(results) == {"fp16", "stream-256"}
+        assert 0 <= mean_score(results["fp16"]) <= 1
+        by_task = mean_score_by_task(results["fp16"])
+        assert set(by_task) == {"qa_single", "fewshot"}

@@ -1,0 +1,81 @@
+"""Tests for the CLI runner and the cached generation-run layer."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.core.config import ExperimentScale
+from repro.experiments import genruns
+
+TINY = ExperimentScale(
+    name="tiny2",
+    sharegpt_requests=12,
+    longbench_per_task=2,
+    router_requests=12,
+    max_new_tokens=24,
+    batch_size=6,
+)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table8" in out
+
+    def test_run_analytic(self, capsys, tmp_path):
+        assert main(["run", "table3", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert (tmp_path / "table3.txt").exists()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_registry_complete(self):
+        expected = {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "table3", "table4", "table5", "table6", "table7", "table8",
+        }
+        assert expected == set(EXPERIMENTS)
+
+
+class TestGenRuns:
+    @pytest.fixture(autouse=True)
+    def _fresh(self):
+        genruns.clear_caches()
+        yield
+        genruns.clear_caches()
+
+    def test_requests_cached_per_scale(self):
+        a = genruns.sharegpt_requests(TINY)
+        b = genruns.sharegpt_requests(TINY)
+        assert a is b
+        assert len(a) == TINY.sharegpt_requests
+
+    def test_run_outputs_aligned_with_requests(self):
+        reqs = genruns.sharegpt_requests(TINY)
+        run = genruns.sharegpt_run(TINY, "fp16", 1.0)
+        assert len(run.lengths) == len(reqs)
+        assert len(run.responses) == len(reqs)
+        # all responses are real token lists
+        assert all(isinstance(r, list) for r in run.responses)
+        assert (run.lengths == [len(r) for r in run.responses]).all()
+
+    def test_distinct_configs_distinct_cache_entries(self):
+        a = genruns.sharegpt_run(TINY, "fp16", 1.0)
+        b = genruns.sharegpt_run(TINY, "fp16", 0.9)
+        assert a is not b
+
+    def test_lengths_by_algo(self):
+        lens = genruns.sharegpt_lengths_by_algo(
+            TINY, ("fp16", "stream-512")
+        )
+        assert set(lens) == {"fp16", "stream-512"}
+        assert all(v.shape == (TINY.sharegpt_requests,) for v in lens.values())
+
+    def test_longbench_eval_cached(self):
+        a = genruns.longbench_eval(TINY, ("fp16",))
+        b = genruns.longbench_eval(TINY, ("fp16",))
+        assert a is b
+        assert len(a["fp16"]) == TINY.longbench_per_task * 6

@@ -1,0 +1,166 @@
+"""Tests for the survey-extension algorithms (TOVA, PyramidKV,
+KVQuant-style, Q-Hitter hybrid)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import EXTENSION_ALGORITHMS, create
+from repro.compression.hybrid import QHitterCompressor
+from repro.compression.quant.kvquant import KVQuantCompressor, isolate_outliers
+from repro.compression.sparse.pyramidkv import (
+    PyramidKVCompressor,
+    pyramid_budgets,
+)
+from repro.compression.sparse.tova import TOVACompressor
+from repro.model.cache import LayerCache
+from repro.model.generate import generate, left_pad
+from repro.model.sampling import Sampler
+
+
+def _filled_cache(n=512, batch=1, kvh=2, dh=64, seed=0):
+    rng = np.random.default_rng(seed)
+    c = LayerCache(batch, kvh, dh, np.zeros(batch, dtype=int))
+    c.append(
+        rng.normal(size=(batch, kvh, n, dh)).astype(np.float32),
+        rng.normal(size=(batch, kvh, n, dh)).astype(np.float32),
+    )
+    return c
+
+
+class TestRegistryExtensions:
+    def test_all_constructible(self):
+        for name in EXTENSION_ALGORITHMS:
+            comp = create(name)
+            assert comp.cost_spec().name == comp.name
+
+    def test_memory_specs_sane(self):
+        from repro.model.arch import LLAMA_7B
+
+        for name in EXTENSION_ALGORITHMS:
+            spec = create(name).memory_spec(LLAMA_7B)
+            assert spec.bytes_per_token_per_layer > 0
+
+
+class TestTOVA:
+    def test_budget_enforced(self, llama_model, prompt_factory):
+        p, _, _ = prompt_factory.make(depth=600, tail=300, ans_len=3)
+        comp = TOVACompressor(budget=128)
+        out = generate(
+            llama_model, [p], compressor=comp,
+            sampler=Sampler(greedy=True), max_new_tokens=4,
+        )
+        assert out.retained_kv_tokens <= 128 + 4
+
+    def test_recent_tokens_evictable(self, llama_model, prompt_factory):
+        """Unlike H2O/Stream, TOVA may evict recent positions."""
+        p, _, _ = prompt_factory.make(depth=700, tail=300, ans_len=3)
+        comp = TOVACompressor(budget=128, protect_last=1)
+        tok = llama_model.tokenizer
+        tokens, starts = left_pad([p], tok.special.pad)
+        cache = llama_model.new_cache(1, starts)
+        comp.begin(1, llama_model.config, starts)
+        llama_model.prefill(tokens, cache, comp)
+        n = cache.length
+        recent = cache[1].keep[0, 0, n - 64 : n - 1]
+        assert not recent.all()  # some recent positions were evicted
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            TOVACompressor(budget=1)
+
+
+class TestPyramidKV:
+    def test_budget_shape(self):
+        budgets = pyramid_budgets(4, 512, slope=0.6)
+        assert len(budgets) == 4
+        assert budgets[0] > budgets[-1]
+        assert abs(np.mean(budgets) - 512) < 64
+
+    def test_single_layer(self):
+        assert pyramid_budgets(1, 256) == [256]
+
+    def test_invalid_slope(self):
+        with pytest.raises(ValueError):
+            pyramid_budgets(4, 512, slope=1.0)
+
+    def test_layer_budgets_enforced(self, llama_model, prompt_factory):
+        p, _, _ = prompt_factory.make(depth=900, tail=200, ans_len=3)
+        comp = PyramidKVCompressor(mean_budget=256, recent_size=64)
+        tok = llama_model.tokenizer
+        tokens, starts = left_pad([p], tok.special.pad)
+        cache = llama_model.new_cache(1, starts)
+        comp.begin(1, llama_model.config, starts)
+        llama_model.prefill(tokens, cache, comp)
+        kept0 = cache[0].retained_counts().max()
+        kept1 = cache[1].retained_counts().max()
+        assert kept0 > kept1  # pyramidal: early layer keeps more
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PyramidKVCompressor(mean_budget=64, recent_size=128)
+
+
+class TestKVQuant:
+    def test_outlier_isolation(self):
+        x = np.zeros((1, 1, 8, 8))
+        x[0, 0, 3, 4] = 50.0
+        bulk, outliers = isolate_outliers(x, 1 / 64)
+        assert outliers[0, 0, 3, 4] == 50.0
+        assert bulk[0, 0, 3, 4] == 0.0
+
+    def test_outliers_survive_roundtrip_exactly(self):
+        c = _filled_cache(seed=2)
+        orig = c.k.copy()
+        comp = KVQuantCompressor(bits=2, outlier_fraction=0.05)
+        comp.compress(0, c, "prefill")
+        # the extreme-magnitude entries must be bit-exact (comfortably
+        # inside the per-head top-5% outlier set)
+        err = np.abs(c.k - orig)
+        big = np.abs(orig) > np.quantile(np.abs(orig), 0.999)
+        assert err[big].max() < 1e-6
+
+    def test_no_residual_window(self):
+        c = _filled_cache(n=256)
+        comp = KVQuantCompressor(bits=4, group_size=32)
+        comp.compress(0, c, "prefill")
+        assert c.quantized_until == 256  # everything aged immediately
+
+    def test_outliers_reduce_error_vs_plain(self):
+        from repro.compression.quant.kivi import KIVICompressor
+
+        a = _filled_cache(seed=5)
+        b = _filled_cache(seed=5)
+        orig = a.k.copy()
+        KVQuantCompressor(bits=2, outlier_fraction=0.05).compress(0, a, "p")
+        KIVICompressor(bits=2, residual=0).compress(0, b, "p")
+        assert np.abs(a.k - orig).mean() < np.abs(b.k - orig).mean()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KVQuantCompressor(bits=0)
+        with pytest.raises(ValueError):
+            KVQuantCompressor(outlier_fraction=1.0)
+
+
+class TestQHitter:
+    def test_composes_both_mechanisms(self, llama_model, prompt_factory):
+        p, _, _ = prompt_factory.make(depth=700, tail=300, ans_len=3)
+        comp = QHitterCompressor(bits=4, hh_size=32, recent_size=224)
+        tok = llama_model.tokenizer
+        tokens, starts = left_pad([p], tok.special.pad)
+        cache = llama_model.new_cache(1, starts)
+        comp.begin(1, llama_model.config, starts)
+        llama_model.prefill(tokens, cache, comp)
+        # sparse half: budget respected
+        assert cache[1].retained_counts().max() <= 256
+        # quant half: aged region was round-tripped
+        assert cache[1].quantized_until > 0
+
+    def test_cost_spec_merges(self):
+        spec = QHitterCompressor(bits=4).cost_spec()
+        assert spec.sparse_budget == 512
+        assert spec.kv_bytes_ratio < 0.5
+        assert spec.decode_score_pass
+
+    def test_needs_probs(self):
+        assert QHitterCompressor.needs_probs is True

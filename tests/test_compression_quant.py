@@ -1,0 +1,176 @@
+"""Tests for KIVI and GEAR compressors on the functional cache."""
+
+import numpy as np
+import pytest
+
+from repro.compression.quant.gear import (
+    GEARCompressor,
+    lowrank_approx,
+    outlier_correction,
+)
+from repro.compression.quant.kivi import KIVICompressor
+from repro.model.cache import LayerCache
+from repro.model.generate import generate
+from repro.model.sampling import Sampler
+
+
+def _filled_cache(n=512, batch=2, kvh=2, dh=64, seed=0):
+    rng = np.random.default_rng(seed)
+    c = LayerCache(batch, kvh, dh, np.zeros(batch, dtype=int))
+    c.append(
+        rng.normal(size=(batch, kvh, n, dh)).astype(np.float32),
+        rng.normal(size=(batch, kvh, n, dh)).astype(np.float32),
+    )
+    return c
+
+
+class TestKIVI:
+    def test_residual_window_untouched(self):
+        c = _filled_cache(n=512)
+        before_k = c.k.copy()
+        KIVICompressor(bits=2, residual=128).compress(0, c, "prefill")
+        # last 128 tokens stay bit-exact
+        np.testing.assert_array_equal(c.k[:, :, -128:], before_k[:, :, -128:])
+        # aged region was perturbed
+        assert not np.array_equal(c.k[:, :, :384], before_k[:, :, :384])
+
+    def test_quantized_until_group_aligned(self):
+        c = _filled_cache(n=500)
+        comp = KIVICompressor(bits=4, group_size=32, residual=128)
+        comp.compress(0, c, "prefill")
+        assert c.quantized_until == (500 - 128) // 32 * 32
+
+    def test_idempotent_on_aged_region(self):
+        c = _filled_cache(n=512)
+        comp = KIVICompressor(bits=4)
+        comp.compress(0, c, "prefill")
+        snap = c.k.copy()
+        comp.compress(0, c, "decode")  # no new tokens aged out
+        np.testing.assert_array_equal(c.k, snap)
+
+    def test_streaming_quantization_during_decode(self):
+        c = _filled_cache(n=256)
+        comp = KIVICompressor(bits=4, group_size=32, residual=128)
+        comp.compress(0, c, "prefill")
+        first_mark = c.quantized_until
+        rng = np.random.default_rng(1)
+        for _ in range(64):
+            c.append(
+                rng.normal(size=(2, 2, 1, 64)).astype(np.float32),
+                rng.normal(size=(2, 2, 1, 64)).astype(np.float32),
+            )
+            comp.compress(0, c, "decode")
+        assert c.quantized_until > first_mark
+        assert c.quantized_until % 32 == 0
+
+    def test_fewer_bits_more_error(self):
+        errs = {}
+        for bits in (2, 4, 8):
+            c = _filled_cache(n=512, seed=3)
+            orig = c.k.copy()
+            KIVICompressor(bits=bits).compress(0, c, "prefill")
+            errs[bits] = np.abs(c.k[:, :, :384] - orig[:, :, :384]).mean()
+        assert errs[2] > errs[4] > errs[8]
+
+    def test_no_eviction(self):
+        c = _filled_cache(n=512)
+        KIVICompressor(bits=2).compress(0, c, "prefill")
+        assert c.keep.all()
+
+    def test_cost_and_memory_specs(self):
+        from repro.model.arch import LLAMA_7B
+
+        comp = KIVICompressor(bits=4)
+        spec = comp.cost_spec()
+        assert spec.kv_bytes_ratio < 0.5
+        assert spec.residual_fp16_tokens == 128
+        mem = comp.memory_spec(LLAMA_7B)
+        assert mem.transient_fp16_copy
+        assert mem.bytes_per_token_per_layer < LLAMA_7B.kv_bytes_per_token_per_layer()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KIVICompressor(bits=0)
+        with pytest.raises(ValueError):
+            KIVICompressor(bits=16)
+        with pytest.raises(ValueError):
+            KIVICompressor(group_size=0)
+
+    def test_name(self):
+        assert KIVICompressor(bits=2).name == "kivi-2"
+
+
+class TestGEARHelpers:
+    def test_lowrank_reduces_error(self):
+        rng = np.random.default_rng(0)
+        # construct an error matrix with strong rank-2 structure
+        u = rng.normal(size=(1, 1, 32, 2))
+        v = rng.normal(size=(1, 1, 2, 16))
+        err = u @ v + 0.01 * rng.normal(size=(1, 1, 32, 16))
+        approx = lowrank_approx(err, 2)
+        assert np.abs(err - approx).mean() < 0.1 * np.abs(err).mean()
+
+    def test_lowrank_zero_rank(self):
+        err = np.ones((1, 1, 4, 4))
+        assert not lowrank_approx(err, 0).any()
+
+    def test_outlier_correction_targets_largest(self):
+        err = np.zeros((1, 1, 10, 10))
+        err[0, 0, 3, 7] = 100.0
+        corr = outlier_correction(err, ratio=0.01)
+        assert corr[0, 0, 3, 7] == 100.0
+        assert np.count_nonzero(corr) == 1
+
+    def test_outlier_zero_ratio(self):
+        assert not outlier_correction(np.ones((1, 1, 4, 4)), 0.0).any()
+
+
+class TestGEAR:
+    def test_gear_beats_plain_quant(self):
+        """Error correction must strictly improve round-trip fidelity."""
+        c_kivi = _filled_cache(n=512, seed=5)
+        c_gear = _filled_cache(n=512, seed=5)
+        orig = c_kivi.k.copy()
+        KIVICompressor(bits=2).compress(0, c_kivi, "prefill")
+        GEARCompressor(bits=2).compress(0, c_gear, "prefill")
+        err_kivi = np.abs(c_kivi.k[:, :, :384] - orig[:, :, :384]).mean()
+        err_gear = np.abs(c_gear.k[:, :, :384] - orig[:, :, :384]).mean()
+        assert err_gear < err_kivi
+
+    def test_gear_cost_spec_heavier_than_kivi(self):
+        gear = GEARCompressor(bits=4).cost_spec()
+        kivi = KIVICompressor(bits=4).cost_spec()
+        assert gear.kv_bytes_ratio > kivi.kv_bytes_ratio
+        assert gear.prefill_kv_passes_fp32 > kivi.prefill_kv_passes_fp32
+        assert gear.lowrank_ratio > 0
+
+    def test_invalid_ratios(self):
+        with pytest.raises(ValueError):
+            GEARCompressor(rank_ratio=1.5)
+        with pytest.raises(ValueError):
+            GEARCompressor(outlier_ratio=-0.1)
+
+    def test_end_to_end_accuracy_ordering(self, llama_model, prompt_factory):
+        """fp16 >= gear-2 >= kivi-2 on contested retrieval."""
+        prompts, answers = [], []
+        for _ in range(10):
+            p, a, _ = prompt_factory.make(
+                depth=64, tail=300, ans_len=8, decoy_gap=150
+            )
+            prompts.append(p)
+            answers.append(a)
+
+        def acc(comp):
+            out = generate(
+                llama_model, prompts, compressor=comp,
+                sampler=Sampler(greedy=True), max_new_tokens=16,
+            )
+            return np.mean([
+                np.mean([x == y for x, y in zip(s, a)]) if s else 0.0
+                for s, a in zip(out.sequences, answers)
+            ])
+
+        base = acc(None)
+        gear = acc(GEARCompressor(bits=2))
+        kivi = acc(KIVICompressor(bits=2))
+        assert base >= gear >= kivi - 0.05

@@ -1,0 +1,265 @@
+"""Tests for H2O, StreamingLLM, SnapKV and the shared eviction helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.registry import PAPER_ALGORITHMS, available, create
+from repro.compression.sparse.h2o import H2OCompressor
+from repro.compression.sparse.policies import (
+    GrowableScores,
+    fold_probs_to_kv_heads,
+    select_top_scores,
+)
+from repro.compression.sparse.snapkv import SnapKVCompressor
+from repro.compression.sparse.streaming import StreamingLLMCompressor
+from repro.model.cache import LayerCache
+from repro.model.config import llama_sim_config
+from repro.model.generate import generate
+from repro.model.sampling import Sampler
+from repro.model.transformer import (
+    FlashIncompatibilityError,
+    FunctionalTransformer,
+)
+
+
+def _cache(n, batch=2, kvh=2, dh=8, starts=None):
+    starts = starts if starts is not None else np.zeros(batch, dtype=int)
+    c = LayerCache(batch, kvh, dh, np.asarray(starts))
+    rng = np.random.default_rng(0)
+    c.append(
+        rng.normal(size=(batch, kvh, n, dh)).astype(np.float32),
+        rng.normal(size=(batch, kvh, n, dh)).astype(np.float32),
+    )
+    return c
+
+
+class TestPolicies:
+    def test_fold_probs_mha(self):
+        probs = np.ones((2, 4, 3, 10)) / 10
+        out = fold_probs_to_kv_heads(probs, 1)
+        assert out.shape == (2, 4, 10)
+        np.testing.assert_allclose(out, 0.3)
+
+    def test_fold_probs_gqa(self):
+        probs = np.ones((1, 4, 2, 5))
+        out = fold_probs_to_kv_heads(probs, 2)
+        assert out.shape == (1, 2, 5)
+        np.testing.assert_allclose(out, 4.0)  # 2 queries x 2 grouped heads
+
+    def test_growable_scores_accumulate(self):
+        g = GrowableScores(1)
+        g.add(0, np.ones((1, 2, 5)))
+        g.add(0, np.ones((1, 2, 8)))  # grew
+        s = g.get(0, 8)
+        assert s[0, 0, 0] == 2.0 and s[0, 0, 7] == 1.0
+
+    def test_growable_scores_unobserved_raises(self):
+        with pytest.raises(RuntimeError):
+            GrowableScores(1).get(0, 4)
+
+    def test_select_top_scores(self):
+        scores = np.array([[5.0, 1.0, 3.0, 2.0]])
+        eligible = np.array([[True, True, True, False]])
+        mask = select_top_scores(scores, eligible, 2)
+        assert list(mask[0]) == [True, False, True, False]
+
+    def test_select_top_underfull_row(self):
+        scores = np.array([[1.0, 2.0]])
+        eligible = np.array([[True, False]])
+        mask = select_top_scores(scores, eligible, 2)
+        assert list(mask[0]) == [True, False]
+
+    def test_select_top_zero_k(self):
+        mask = select_top_scores(np.ones((1, 3)), np.ones((1, 3), bool), 0)
+        assert not mask.any()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), k=st.integers(1, 20))
+    def test_select_top_exact_count_property(self, seed, k):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=(3, 24))
+        eligible = rng.random((3, 24)) > 0.3
+        mask = select_top_scores(scores, eligible, k)
+        counts = mask.sum(axis=-1)
+        expect = np.minimum(k, eligible.sum(axis=-1))
+        assert (counts == expect).all()
+        assert (mask <= eligible).all()
+
+
+class TestStreamingLLM:
+    def test_window_structure(self):
+        comp = StreamingLLMCompressor(sink_size=4, recent_size=8)
+        c = _cache(n=32)
+        comp.compress(0, c, "prefill")
+        keep = c.keep[0, 0]
+        assert keep[:4].all()          # sinks kept
+        assert keep[-8:].all()         # recent kept
+        assert not keep[4:-8].any()    # middle evicted
+
+    def test_sink_relative_to_seq_start(self):
+        comp = StreamingLLMCompressor(sink_size=4, recent_size=8)
+        c = _cache(n=32, starts=[10, 0])
+        comp.compress(0, c, "prefill")
+        # seq 0 starts at 10: its sinks are positions 10..13
+        assert c.keep[0, 0, 10:14].all()
+        assert not c.keep[0, 0, :10].any()  # padding stays dead
+
+    def test_noop_under_budget(self):
+        comp = StreamingLLMCompressor(sink_size=4, recent_size=8)
+        c = _cache(n=10)
+        comp.compress(0, c, "prefill")
+        assert c.keep.all()
+
+    def test_needs_no_probs(self):
+        assert StreamingLLMCompressor.needs_probs is False
+
+
+class TestH2O:
+    def _run(self, comp, model, prompts, **kw):
+        return generate(
+            model, prompts, compressor=comp,
+            sampler=Sampler(greedy=True), **kw,
+        )
+
+    def test_budget_enforced(self, llama_model, prompt_factory):
+        p, _, _ = prompt_factory.make(depth=700, tail=200, ans_len=3)
+        comp = H2OCompressor(hh_size=16, recent_size=112)
+        out = self._run(comp, llama_model, [p], max_new_tokens=4)
+        assert out.retained_kv_tokens <= 128 + 4
+
+    def test_heavy_hitters_kept(self, llama_model, prompt_factory):
+        """The attention sink (position ~seq start) accumulates mass and
+        must survive eviction as a heavy hitter."""
+        p, _, _ = prompt_factory.make(depth=600, tail=300, ans_len=3)
+        model = llama_model
+        comp = H2OCompressor(hh_size=64, recent_size=192)
+        tok = model.tokenizer
+        from repro.model.generate import left_pad
+
+        tokens, seq_start = left_pad([p], tok.special.pad)
+        cache = model.new_cache(1, seq_start)
+        comp.begin(1, model.config, seq_start)
+        model.prefill(tokens, cache, comp)
+        # position 0 (BOS, the sink) must still be retained in layer 1
+        assert cache[1].keep[0, :, 0].any()
+
+    def test_eviction_irreversible(self, llama_model, prompt_factory):
+        p, _, _ = prompt_factory.make(depth=700, tail=200, ans_len=3)
+        comp = H2OCompressor(hh_size=8, recent_size=56)
+        from repro.model.generate import left_pad
+
+        tok = llama_model.tokenizer
+        tokens, seq_start = left_pad([p], tok.special.pad)
+        cache = llama_model.new_cache(1, seq_start)
+        comp.begin(1, llama_model.config, seq_start)
+        llama_model.prefill(tokens, cache, comp)
+        evicted = ~cache[1].keep[0, 0].copy()
+        logits = llama_model.decode_step(
+            np.array([tok.content_ids[0]]), cache, comp
+        )
+        still_evicted = ~cache[1].keep[0, 0][: len(evicted)]
+        assert (still_evicted | ~evicted).all()  # evicted stays evicted
+
+    def test_flash_incompatibility(self, prompt_factory):
+        """H2O needs probabilities; flash attention must refuse it."""
+        model = FunctionalTransformer(llama_sim_config(), attention_impl="flash")
+        p, _, _ = prompt_factory.make()
+        with pytest.raises(FlashIncompatibilityError):
+            generate(model, [p], compressor=H2OCompressor(), max_new_tokens=2)
+
+    def test_flash_ok_for_structural_methods(self, prompt_factory):
+        model = FunctionalTransformer(llama_sim_config(), attention_impl="flash")
+        p, a, _ = prompt_factory.make(depth=64, tail=32)
+        out = generate(
+            model, [p], compressor=StreamingLLMCompressor(),
+            sampler=Sampler(greedy=True), max_new_tokens=8,
+        )
+        assert out.sequences[0] == a
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            H2OCompressor(hh_size=-1)
+        with pytest.raises(ValueError):
+            H2OCompressor(recent_size=0)
+
+
+class TestSnapKV:
+    def test_prompt_compressed_once(self, llama_model, prompt_factory):
+        p, a, _ = prompt_factory.make(depth=700, tail=100, ans_len=3)
+        comp = SnapKVCompressor(budget=256, window=16)
+        from repro.model.generate import left_pad
+
+        tok = llama_model.tokenizer
+        tokens, seq_start = left_pad([p], tok.special.pad)
+        cache = llama_model.new_cache(1, seq_start)
+        comp.begin(1, llama_model.config, seq_start)
+        llama_model.prefill(tokens, cache, comp)
+        kept = cache[1].retained_counts()[0, 0]
+        assert kept <= 256
+        # decode appends without further eviction
+        logits = llama_model.decode_step(
+            np.array([tok.content_ids[0]]), cache, comp
+        )
+        assert cache[1].retained_counts()[0, 0] == kept + 1
+
+    def test_query_aware_retrieval_survives(self, llama_model, prompt_factory):
+        """SnapKV keeps what the final query attends to (unlike Stream)."""
+        prompts, answers = [], []
+        for _ in range(6):
+            p, a, _ = prompt_factory.make(depth=600, tail=400, ans_len=3)
+            prompts.append(p)
+            answers.append(a)
+        snap = generate(
+            llama_model, prompts, compressor=SnapKVCompressor(budget=256),
+            sampler=Sampler(greedy=True), max_new_tokens=8,
+        )
+        stream = generate(
+            llama_model, prompts,
+            compressor=StreamingLLMCompressor(sink_size=32, recent_size=224),
+            sampler=Sampler(greedy=True), max_new_tokens=8,
+        )
+        snap_acc = sum(s == a for s, a in zip(snap.sequences, answers))
+        stream_acc = sum(s == a for s, a in zip(stream.sequences, answers))
+        assert snap_acc > stream_acc
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SnapKVCompressor(budget=16, window=32)
+        with pytest.raises(ValueError):
+            SnapKVCompressor(kernel_size=4)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert {"fp16", "kivi", "gear", "h2o", "stream", "snapkv"} <= set(
+            available()
+        )
+
+    def test_paper_algorithms_constructible(self):
+        for name in PAPER_ALGORITHMS:
+            comp = create(name)
+            assert comp.name == name
+
+    def test_suffix_semantics(self):
+        assert create("kivi-2").bits == 2
+        assert create("stream-1024").budget == 1024
+        assert create("h2o-256").budget == 256
+        assert create("snapkv-384").budget == 384
+
+    def test_defaults(self):
+        assert create("kivi").bits == 4
+        assert create("h2o").budget == 512
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            create("zipcache-4")
+
+    def test_fp16_is_noop(self):
+        comp = create("fp16")
+        c = _cache(n=64)
+        snap = c.k.copy()
+        comp.compress(0, c, "prefill")
+        np.testing.assert_array_equal(c.k, snap)
+        assert c.keep.all()

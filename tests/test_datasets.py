@@ -1,0 +1,172 @@
+"""Tests for the LongBench-sim / ShareGPT-sim generators and task metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    LongBenchSim,
+    ShareGPTSim,
+    TASK_GROUPS,
+    TASK_METRICS,
+    TASK_TYPES,
+    edit_similarity,
+    exact_match,
+    rouge_like,
+    score,
+    sequence_accuracy,
+    token_f1,
+)
+
+
+class TestMetrics:
+    def test_exact_match(self):
+        assert exact_match([1, 2], [1, 2]) == 1.0
+        assert exact_match([1, 2], [2, 1]) == 0.0
+
+    def test_token_f1_partial(self):
+        assert token_f1([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+
+    def test_token_f1_empty(self):
+        assert token_f1([], []) == 1.0
+        assert token_f1([], [1]) == 0.0
+        assert token_f1([1], []) == 0.0
+
+    def test_sequence_accuracy_positional(self):
+        assert sequence_accuracy([1, 9, 3], [1, 2, 3]) == pytest.approx(2 / 3)
+        assert sequence_accuracy([1], [1, 2, 3]) == pytest.approx(1 / 3)
+
+    def test_edit_similarity(self):
+        assert edit_similarity([1, 2, 3], [1, 2, 3]) == 1.0
+        assert edit_similarity([1, 2, 3], [1, 2]) == pytest.approx(2 / 3)
+        assert edit_similarity([], []) == 1.0
+        assert edit_similarity([1], []) == 0.0
+
+    def test_rouge_like_uses_bigrams(self):
+        # same bag, different order: unigram F1 1.0 but bigram overlap < 1
+        assert rouge_like([1, 2, 3], [3, 2, 1]) < 1.0
+        assert rouge_like([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_score_dispatch(self):
+        assert score("exact_match", [1], [1]) == 1.0
+        with pytest.raises(KeyError):
+            score("bleu", [1], [1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.lists(st.integers(0, 10), max_size=12),
+        b=st.lists(st.integers(0, 10), max_size=12),
+    )
+    def test_metrics_bounded_and_symmetric_identity(self, a, b):
+        """Property: all metrics in [0, 1]; identity scores 1."""
+        for name in ("exact_match", "token_f1", "rouge_like",
+                     "sequence_accuracy", "edit_similarity"):
+            v = score(name, a, b)
+            assert 0.0 <= v <= 1.0
+            assert score(name, a, a) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.lists(st.integers(0, 5), min_size=1, max_size=10),
+        b=st.lists(st.integers(0, 5), min_size=1, max_size=10),
+    )
+    def test_edit_similarity_symmetric(self, a, b):
+        assert edit_similarity(a, b) == pytest.approx(edit_similarity(b, a))
+
+
+class TestLongBenchSim:
+    def test_all_tasks_generated(self):
+        samples = LongBenchSim(seed=0, min_context=400, max_context=700).build(2)
+        tasks = {s.task for s in samples}
+        assert tasks == set(TASK_TYPES)
+        assert len(samples) == 2 * len(TASK_TYPES)
+
+    def test_metric_mapping(self):
+        for t in TASK_TYPES:
+            assert TASK_METRICS[t] in (
+                "token_f1", "rouge_like", "exact_match", "edit_similarity"
+            )
+            assert t in TASK_GROUPS
+
+    def test_deterministic(self):
+        a = LongBenchSim(seed=5).build(1)
+        b = LongBenchSim(seed=5).build(1)
+        assert [s.prompt for s in a] == [s.prompt for s in b]
+
+    def test_prompts_end_with_question(self):
+        gen = LongBenchSim(seed=1, min_context=400, max_context=700)
+        for s in gen.build(2):
+            assert s.prompt[-2] == gen.tok.special.q
+
+    def test_answers_retrievable_from_prompt(self):
+        """Every answer span must literally appear in the prompt."""
+        gen = LongBenchSim(seed=2, min_context=400, max_context=700)
+        for s in gen.build(2):
+            prompt = s.prompt
+            ans = s.answer
+            found = any(
+                prompt[i : i + len(ans)] == ans
+                for i in range(len(prompt) - len(ans))
+            )
+            assert found, f"{s.sample_id} answer not embedded"
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            LongBenchSim().build(1, tasks=("mystery",))
+
+    def test_baseline_solves_suite(self, llama_model):
+        """The functional model must handle the suite well at FP16."""
+        from repro.analysis.evaluation import evaluate_algorithm, mean_score
+
+        samples = LongBenchSim(
+            seed=3, min_context=400, max_context=800
+        ).build(3)
+        records = evaluate_algorithm(
+            llama_model, samples, "fp16", batch_size=9, max_new_tokens=24
+        )
+        assert mean_score(records) > 0.6
+
+
+class TestShareGPTSim:
+    def test_build_count_and_ids(self):
+        reqs = ShareGPTSim(seed=0).build(10)
+        assert len(reqs) == 10
+        assert len({r.request_id for r in reqs}) == 10
+
+    def test_prompt_length_bounds(self):
+        gen = ShareGPTSim(seed=1, min_prompt=96, max_prompt=1024)
+        for r in gen.build(50):
+            # structural parts can exceed the target slightly
+            assert 60 <= r.prompt_len <= 1400
+
+    def test_reference_embedded(self):
+        for r in ShareGPTSim(seed=2).build(10):
+            ref = r.reference
+            assert len(ref) == r.intended_length
+            found = any(
+                r.prompt[i : i + len(ref)] == ref
+                for i in range(len(r.prompt) - len(ref))
+            )
+            assert found
+
+    def test_final_token_is_key(self):
+        gen = ShareGPTSim(seed=3)
+        for r in gen.build(5):
+            assert r.prompt[-2] == gen.tok.special.q
+
+    def test_arrival_times_poisson(self):
+        gen = ShareGPTSim(seed=4)
+        arr = gen.arrival_times(2000, requests_per_second=10.0)
+        assert (np.diff(arr) > 0).all()
+        assert np.mean(np.diff(arr)) == pytest.approx(0.1, rel=0.15)
+
+    def test_arrival_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ShareGPTSim().arrival_times(10, 0.0)
+
+    def test_distractor_fraction(self):
+        reqs = ShareGPTSim(seed=5, distractor_fraction=1.0).build(10)
+        assert all(r.meta["has_distractor"] == 1.0 for r in reqs)
+        reqs = ShareGPTSim(seed=5, distractor_fraction=0.0).build(10)
+        assert all(r.meta["has_distractor"] == 0.0 for r in reqs)

@@ -1,0 +1,182 @@
+"""Tests for the analytical serving cost model and engine presets."""
+
+import numpy as np
+import pytest
+
+from repro.compression import create, NoCompression
+from repro.engines import (
+    LMDEPLOY,
+    TRL,
+    TRL_FA,
+    ServingCostModel,
+    get_engine,
+)
+from repro.hardware import A6000, H800, NVLINK_A6000
+from repro.model.arch import LLAMA_7B, LLAMA_13B, LLAMA_70B, MISTRAL_7B
+
+FP16 = NoCompression().cost_spec()
+
+
+def model(engine=LMDEPLOY, arch=LLAMA_7B, gpu=A6000, tp=1):
+    ic = NVLINK_A6000 if tp > 1 else None
+    return ServingCostModel(arch, gpu, engine, tp=tp, interconnect=ic)
+
+
+class TestEnginePresets:
+    def test_lookup(self):
+        assert get_engine("lmdeploy") is LMDEPLOY
+        assert get_engine("TRL") is TRL
+        with pytest.raises(KeyError):
+            get_engine("vllm")
+
+    def test_engine_ordering_decode(self):
+        """Observation 1: LMDeploy > TRL+FA > TRL decode throughput."""
+        for b, n in ((1, 512), (8, 1024), (32, 1024)):
+            t = {
+                e.name: model(e).decode_throughput(b, n, FP16)
+                for e in (TRL, TRL_FA, LMDEPLOY)
+            }
+            assert t["lmdeploy"] > t["trl+fa"] > t["trl"]
+
+    def test_engine_ordering_prefill(self):
+        for b, L in ((1, 512), (4, 2048)):
+            t = {
+                e.name: model(e).prefill_throughput(b, L, FP16)
+                for e in (TRL, TRL_FA, LMDEPLOY)
+            }
+            assert t["lmdeploy"] > t["trl+fa"] > t["trl"]
+
+
+class TestDecodeCost:
+    def test_throughput_grows_with_batch(self):
+        m = model()
+        t1 = m.decode_throughput(1, 1024, FP16)
+        t8 = m.decode_throughput(8, 1024, FP16)
+        assert t8 > 4 * t1  # weight-bound regime amortizes
+
+    def test_step_time_grows_with_kv(self):
+        m = model()
+        assert (
+            m.decode_step(8, 4096, FP16).seconds
+            > m.decode_step(8, 512, FP16).seconds
+        )
+
+    def test_oom_detection(self):
+        m = model()
+        cost = m.decode_step(64, 8192, FP16)
+        assert cost.oom and cost.seconds == float("inf")
+        assert m.decode_throughput(64, 8192, FP16) == 0.0
+
+    def test_breakdown_sums(self):
+        m = model()
+        cost = m.decode_step(8, 2048, FP16)
+        assert cost.seconds == pytest.approx(
+            sum(cost.breakdown.values()), rel=1e-6
+        )
+
+    def test_gqa_reduces_kv_traffic(self):
+        """Mistral's 8 KV heads move 4x less than LLaMA's 32."""
+        t_llama = model(arch=LLAMA_7B).decode_step(8, 4096, FP16)
+        t_mistral = model(arch=MISTRAL_7B).decode_step(8, 4096, FP16)
+        attn_l = t_llama.breakdown["attention"]
+        attn_m = t_mistral.breakdown["attention"]
+        assert attn_m < attn_l / 2
+
+
+class TestCompressionEffects:
+    def test_sparse_wins_at_heavy_kv(self):
+        m = model()
+        stream = create("stream-512").cost_spec()
+        base = m.decode_throughput(8, 4096, FP16)
+        assert m.decode_throughput(8, 4096, stream) > 1.2 * base
+
+    def test_speedup_insignificant_at_light_kv(self):
+        """Observation 2: no benefit at small batch and short KV."""
+        m = model()
+        for algo in ("kivi-4", "gear-4", "h2o-512", "stream-512"):
+            spec = create(algo).cost_spec()
+            ratio = m.decode_throughput(1, 256, spec) / m.decode_throughput(
+                1, 256, FP16
+            )
+            assert 0.85 < ratio < 1.05
+
+    def test_h2o_prefill_penalty_grows_with_length(self):
+        m = model()
+        h2o = create("h2o-512").cost_spec()
+        r1 = m.prefill_throughput(1, 1024, h2o) / m.prefill_throughput(
+            1, 1024, FP16
+        )
+        r2 = m.prefill_throughput(1, 8192, h2o) / m.prefill_throughput(
+            1, 8192, FP16
+        )
+        assert r2 < r1 < 1.0
+        assert r2 < 0.6  # paper: 0.51-0.58 at heavy settings
+
+    def test_gear_prefill_slower_than_kivi(self):
+        m = model()
+        kivi = create("kivi-4").cost_spec()
+        gear = create("gear-4").cost_spec()
+        tk = m.prefill_throughput(4, 2048, kivi)
+        tg = m.prefill_throughput(4, 2048, gear)
+        assert tg < tk
+
+    def test_stream_prefill_near_baseline(self):
+        m = model()
+        stream = create("stream-512").cost_spec()
+        ratio = m.prefill_throughput(4, 2048, stream) / m.prefill_throughput(
+            4, 2048, FP16
+        )
+        assert 0.9 < ratio <= 1.01
+
+    def test_quant_oom_before_fp16(self):
+        """Fig 1(l): transient FP16 copy OOMs quant methods earlier."""
+        m = model(arch=LLAMA_7B)
+        kivi = create("kivi-4").cost_spec()
+        b, n = 6, 8192
+        assert not m.decode_step(b, n, FP16).oom
+        assert m.decode_step(b, n, kivi).oom
+
+    def test_sparse_decode_flat_in_kv_len(self):
+        """Fig 3(b): sparse attention time saturates at the budget."""
+        m = model()
+        h2o = create("h2o-512").cost_spec()
+        t1 = m.decode_step(8, 1024, h2o).attention_seconds
+        t2 = m.decode_step(8, 4096, h2o).attention_seconds
+        assert t2 < 1.1 * t1
+
+
+class TestTensorParallelism:
+    def test_tp_lifts_absolute_throughput(self):
+        t1 = model(tp=1).decode_throughput(4, 2048, FP16)
+        t4 = model(tp=4).decode_throughput(4, 2048, FP16)
+        assert t4 > 1.8 * t1
+
+    def test_tp_shrinks_compression_speedup(self):
+        """Table 3's headline shape."""
+        stream = create("stream-512").cost_spec()
+        speedups = []
+        for tp in (1, 2, 4):
+            m = model(tp=tp)
+            speedups.append(
+                m.decode_throughput(4, 2048, stream)
+                / m.decode_throughput(4, 2048, FP16)
+            )
+        assert speedups[0] > speedups[1] > speedups[2]
+
+    def test_tp_requires_interconnect(self):
+        with pytest.raises(ValueError):
+            ServingCostModel(LLAMA_7B, A6000, LMDEPLOY, tp=2)
+
+    def test_70b_serveable_with_tp4_h800(self):
+        m = ServingCostModel(
+            LLAMA_70B, H800, LMDEPLOY, tp=4, interconnect=NVLINK_A6000
+        )
+        assert not m.decode_step(4, 2048, FP16).oom
+
+    def test_13b_tighter_than_7b(self):
+        m7 = model(arch=LLAMA_7B)
+        m13 = model(arch=LLAMA_13B)
+        spec = create("kivi-4").cost_spec()
+        assert m13.memory.max_batch(
+            m13._memory_spec(spec), 4096
+        ) < m7.memory.max_batch(m7._memory_spec(spec), 4096)

@@ -1,0 +1,201 @@
+"""Tests for the experiment modules (paper-shape assertions).
+
+The analytic experiments run at full fidelity; the generation-based
+ones run on a tiny scale here — their full versions are exercised by
+the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentScale
+from repro.experiments import (
+    ALGOS,
+    ALL_ALGOS,
+    ablations,
+    fig1_throughput,
+    fig2_h800,
+    fig3_attention_time,
+    table3_tp,
+)
+from repro.experiments.common import ExperimentResult, comp_spec
+
+TINY = ExperimentScale(
+    name="tiny",
+    sharegpt_requests=24,
+    longbench_per_task=4,
+    router_requests=24,
+    max_new_tokens=32,
+    batch_size=12,
+)
+
+
+class TestFig1:
+    def test_engine_series_ordering(self):
+        series = fig1_throughput.fp16_decode_by_engine(kv_len=1024)
+        for i in range(len(fig1_throughput.BATCHES)):
+            vals = {e: s[i] for e, s in series.items()}
+            if min(vals.values()) > 0:  # skip OOM cells
+                assert vals["lmdeploy"] > vals["trl"]
+
+    def test_stream_speedup_grows_with_kv(self):
+        s_small = fig1_throughput.algo_speedup_by_engine(kv_len=512)
+        s_big = fig1_throughput.algo_speedup_by_engine(kv_len=4096)
+        assert s_big["lmdeploy"][1] > s_small["lmdeploy"][1]
+
+    def test_trl_speedup_exceeds_lmdeploy_speedup(self):
+        """Observation 1: TRL exaggerates compression speedups."""
+        s = fig1_throughput.algo_speedup_by_engine(kv_len=4096)
+        assert s["trl"][1] > s["lmdeploy"][1]
+
+    def test_grid_has_oom_cells(self):
+        grid = fig1_throughput.throughput_grid("decode")
+        kivi = grid["kivi-4"]
+        assert any(v == 0.0 for v in kivi.values())
+
+    def test_quant_ooms_where_fp16_survives(self):
+        grid = fig1_throughput.throughput_grid(
+            "decode", batches=(6,), lengths=(8192,)
+        )
+        assert grid["fp16"][(6, 8192)] > 0
+        assert grid["kivi-4"][(6, 8192)] == 0.0
+        assert grid["stream-512"][(6, 8192)] > 0
+
+    def test_run_renders(self):
+        res = fig1_throughput.run()
+        assert isinstance(res, ExperimentResult)
+        text = res.render()
+        assert "Figure 1" in text and "OOM" in text or "0" in text
+
+
+class TestFig2:
+    def test_h800_speedups_smaller_than_a6000(self):
+        """Higher bandwidth narrows compression's relative benefit."""
+        a = fig1_throughput.throughput_grid(
+            "decode", arch="llama-7b", gpu="a6000",
+            batches=(8,), lengths=(4096,),
+        )
+        h = fig1_throughput.throughput_grid(
+            "decode", arch="llama-7b", gpu="h800",
+            batches=(8,), lengths=(4096,),
+        )
+        sp_a = a["stream-512"][(8, 4096)] / a["fp16"][(8, 4096)]
+        sp_h = h["stream-512"][(8, 4096)] / h["fp16"][(8, 4096)]
+        assert sp_h < sp_a
+
+    def test_run(self):
+        res = fig2_h800.run()
+        assert "70B" in res.name
+
+
+class TestFig3:
+    def test_sparse_decode_attention_flat(self):
+        series = fig3_attention_time.attention_time_series(
+            "decode", (1024, 4096), batch=8
+        )
+        h2o = series["h2o-512"]
+        fp16 = series["fp16"]
+        assert fp16[1] > 2 * fp16[0]
+        assert h2o[1] < 1.5 * h2o[0]
+
+    def test_h2o_prefill_attention_dominates(self):
+        series = fig3_attention_time.attention_time_series(
+            "prefill", (4096,), batch=1
+        )
+        assert series["h2o-512"][0] > 2 * series["fp16"][0]
+
+    def test_run(self):
+        res = fig3_attention_time.run()
+        assert len(res.tables) == 2
+
+
+class TestTable3:
+    def test_decode_speedup_shrinks_with_tp(self):
+        data = table3_tp.tp_speedups("decode")
+        for algo in ALGOS:
+            assert data[1][algo] > data[4][algo]
+
+    def test_fp16_throughput_grows_with_tp(self):
+        data = table3_tp.tp_speedups("decode")
+        assert data[4]["fp16"] > data[2]["fp16"] > data[1]["fp16"]
+
+    def test_h2o_prefill_worst(self):
+        data = table3_tp.tp_speedups("prefill")
+        for tp in (1, 2, 4):
+            assert data[tp]["h2o-512"] == min(
+                data[tp][a] for a in ALGOS
+            )
+
+    def test_run(self):
+        res = table3_tp.run()
+        assert "Table 3" in res.name
+
+
+class TestGenerationExperiments:
+    """Tiny-scale smoke tests of the data-driven experiments."""
+
+    @pytest.fixture(scope="class", autouse=True)
+    def _fresh_caches(self):
+        from repro.experiments.genruns import clear_caches
+
+        clear_caches()
+        yield
+        clear_caches()
+
+    def test_table5(self):
+        from repro.experiments import table5_length_ratio
+
+        res = table5_length_ratio.run(TINY)
+        ratios = res.data["ratios"]
+        assert set(ratios) >= {"T=0.9", "T=1.1"} | set(ALGOS)
+        for vr in ratios.values():
+            assert 0 <= vr.shorter_50 <= 100
+            assert 0 <= vr.longer_50 <= 100
+
+    def test_fig6_counts_decline_with_threshold(self):
+        from repro.experiments import fig6_negative_threshold
+
+        res = fig6_negative_threshold.run(TINY)
+        for label, series in res.data["counts"].items():
+            assert all(
+                a >= b for a, b in zip(series, series[1:])
+            ), f"{label} counts not non-increasing"
+
+    def test_fig7_breakdown_totals_match_fig6(self):
+        from repro.experiments import (
+            fig6_negative_threshold,
+            fig7_negative_tasks,
+        )
+
+        analysis = fig6_negative_threshold.build_analysis(TINY)
+        for algo in ALGOS:
+            by_task = analysis.counts_by_task([algo], 0.10)
+            assert sum(by_task.values()) == len(
+                analysis.negatives([algo], 0.10)
+            )
+
+    def test_table7_scores(self):
+        from repro.experiments import table7_negative_bench
+
+        res = table7_negative_bench.run(TINY)
+        assert "benchmark_size" in res.data
+
+    def test_genrun_caching(self):
+        from repro.experiments.genruns import sharegpt_run
+
+        a = sharegpt_run(TINY, "fp16", 1.0)
+        b = sharegpt_run(TINY, "fp16", 1.0)
+        assert a is b  # memoized
+
+
+class TestAblations:
+    def test_flash_vs_naive(self):
+        res = ablations.flash_vs_naive()
+        ratios = [float(r[3][:-1]) for r in res.data["rows"]]
+        assert all(r > 1.0 for r in ratios)
+
+    def test_paged_block_size_fragmentation(self):
+        res = ablations.paged_block_size()
+        fragged = [float(r[3][:-1]) for r in res.data["rows"]]
+        # bigger blocks fragment more under hole-punching eviction
+        assert fragged[-1] >= fragged[0]

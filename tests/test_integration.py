@@ -1,0 +1,159 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import CompressedGenerationPipeline
+from repro.analysis import SemanticScorer, length_difference
+from repro.compression import create
+from repro.datasets import LongBenchSim, ShareGPTSim, score
+from repro.model.generate import generate
+from repro.model.sampling import Sampler
+
+
+class TestAccuracyStack:
+    """Observation 5/6 mechanics hold end-to-end on fresh data."""
+
+    def test_eviction_hurts_deep_answers_only(self, llama_model, prompt_factory):
+        deep, shallow = [], []
+        answers_deep, answers_shallow = [], []
+        for _ in range(5):
+            p, a, _ = prompt_factory.make(depth=600, tail=700, ans_len=4)
+            deep.append(p)
+            answers_deep.append(a)
+            p, a, _ = prompt_factory.make(depth=600, tail=100, ans_len=4)
+            shallow.append(p)
+            answers_shallow.append(a)
+        comp = create("stream-512")
+        out_deep = generate(
+            llama_model, deep, compressor=comp,
+            sampler=Sampler(greedy=True), max_new_tokens=8,
+        )
+        out_shallow = generate(
+            llama_model, shallow, compressor=comp,
+            sampler=Sampler(greedy=True), max_new_tokens=8,
+        )
+        acc_deep = np.mean(
+            [s == a for s, a in zip(out_deep.sequences, answers_deep)]
+        )
+        acc_shallow = np.mean(
+            [s == a for s, a in zip(out_shallow.sequences, answers_shallow)]
+        )
+        assert acc_shallow > acc_deep
+
+    def test_negative_sample_pipeline_end_to_end(self, llama_model):
+        """Generate, score, and collect negatives on fresh data."""
+        from repro.analysis.evaluation import evaluate_suite
+        from repro.tools.negative_sampler import (
+            NegativeSampleAnalysis,
+            ScoredSample,
+        )
+
+        samples = LongBenchSim(
+            seed=21, min_context=500, max_context=1100
+        ).build(4, tasks=("qa_single", "summarization", "synthetic"))
+        results = evaluate_suite(
+            llama_model, samples, ("fp16", "stream-512"),
+            batch_size=12, max_new_tokens=24,
+        )
+        baseline = {
+            r.sample_id: ScoredSample(r.sample_id, r.task, r.score)
+            for r in results["fp16"]
+        }
+        by_algo = {
+            "stream-512": {
+                r.sample_id: ScoredSample(r.sample_id, r.task, r.score)
+                for r in results["stream-512"]
+            }
+        }
+        analysis = NegativeSampleAnalysis(baseline, by_algo)
+        negatives = analysis.negatives(["stream-512"], 0.10)
+        # eviction must produce at least one negative on deep answers
+        assert len(negatives) >= 1
+        assert negatives <= analysis.benign_ids
+
+
+class TestLengthStack:
+    def test_compression_inflates_lengths(self, llama_model):
+        reqs = ShareGPTSim(seed=31, distractor_fraction=0.6).build(32)
+        prompts = [r.prompt for r in reqs]
+        base = generate(
+            llama_model, prompts,
+            sampler=Sampler(temperature=1.0, top_p=0.95, seed=1),
+            max_new_tokens=48,
+        )
+        comp = generate(
+            llama_model, prompts, compressor=create("kivi-2"),
+            sampler=Sampler(temperature=1.0, top_p=0.95, seed=1),
+            max_new_tokens=48,
+        )
+        d = length_difference(base.response_lengths, comp.response_lengths)
+        assert d.mean() < 0.05  # net lengthening (negative D) or ~neutral
+
+    def test_semantic_score_on_inflated_outputs(self, llama_model):
+        reqs = ShareGPTSim(seed=41).build(12)
+        out = generate(
+            llama_model, [r.prompt for r in reqs],
+            sampler=Sampler(greedy=True), max_new_tokens=32,
+        )
+        scorer = SemanticScorer(llama_model.config)
+        scores = scorer.score_many(
+            out.sequences, [r.reference for r in reqs]
+        )
+        assert scores.mean() > 0.7  # greedy fp16 tracks references
+
+
+class TestServingStack:
+    def test_pipeline_to_simulator(self):
+        """Generated lengths feed the simulator for real E2E numbers."""
+        from repro.engines import LMDEPLOY, ServingCostModel
+        from repro.hardware import A6000
+        from repro.model.arch import LLAMA_7B
+        from repro.serving import ServerInstance, ServingRequest
+
+        pipe = CompressedGenerationPipeline("stream-512")
+        reqs = ShareGPTSim(seed=51).build(8)
+        out = pipe.generate(
+            [r.prompt for r in reqs],
+            sampler=Sampler(greedy=True),
+            max_new_tokens=32,
+        )
+        inst = ServerInstance(
+            ServingCostModel(LLAMA_7B, A6000, LMDEPLOY),
+            pipe.compressor.cost_spec(),
+        )
+        sim = inst.run(
+            [
+                ServingRequest(
+                    request_id=r.request_id,
+                    arrival=0.2 * i,
+                    prompt_len=r.prompt_len,
+                    response_len=max(1, int(out.response_lengths[i])),
+                )
+                for i, r in enumerate(reqs)
+            ]
+        )
+        assert sim.mean_e2e() > 0
+        assert len(sim.requests) == 8
+
+    def test_compression_helps_under_heavy_load(self):
+        """The systems benefit: smaller caches absorb more concurrency."""
+        from repro.engines import LMDEPLOY, ServingCostModel
+        from repro.hardware import A6000
+        from repro.model.arch import LLAMA_7B
+        from repro.serving import ServerInstance, ServingRequest
+
+        def run_with(algo):
+            spec = (
+                CompressedGenerationPipeline(algo).compressor.cost_spec()
+            )
+            inst = ServerInstance(
+                ServingCostModel(LLAMA_7B, A6000, LMDEPLOY), spec
+            )
+            reqs = [
+                ServingRequest(f"r{i}", 0.02 * i, 3072, 64)
+                for i in range(32)
+            ]
+            return inst.run(reqs).mean_e2e()
+
+        assert run_with("stream-512") < run_with("fp16")

@@ -1,0 +1,204 @@
+"""Tests for the systems-level KV-cache stores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvcache import (
+    CapacityError,
+    ContiguousStore,
+    PagedStore,
+    QuantizedPagedStore,
+)
+
+
+class TestContiguous:
+    def test_power_of_two_reservation(self):
+        s = ContiguousStore(4096)
+        s.add_sequence("a", 100)
+        assert s.stats().allocated_tokens == 128
+
+    def test_growth_copies(self):
+        s = ContiguousStore(4096)
+        s.add_sequence("a", 100)
+        for _ in range(29):
+            s.append("a")
+        assert s.stats().copied_tokens == 128  # one realloc at 129 tokens
+
+    def test_eviction_does_not_release(self):
+        s = ContiguousStore(4096)
+        s.add_sequence("a", 256)
+        s.evict("a", list(range(100)))
+        st_ = s.stats()
+        assert st_.allocated_tokens == 256
+        assert st_.live_tokens == 156
+        assert st_.internal_fragmentation > 0.3
+
+    def test_free_releases(self):
+        s = ContiguousStore(4096)
+        s.add_sequence("a", 256)
+        s.free("a")
+        assert s.stats().allocated_tokens == 0
+
+    def test_capacity_error(self):
+        s = ContiguousStore(128)
+        with pytest.raises(CapacityError):
+            s.add_sequence("a", 200)
+
+    def test_duplicate_sequence(self):
+        s = ContiguousStore(1024)
+        s.add_sequence("a", 10)
+        with pytest.raises(KeyError):
+            s.add_sequence("a", 10)
+
+    def test_over_eviction_raises(self):
+        s = ContiguousStore(1024)
+        s.add_sequence("a", 10)
+        with pytest.raises(ValueError):
+            s.evict("a", list(range(11)))
+
+
+class TestPaged:
+    def test_block_count(self):
+        s = PagedStore(1024, block_size=16)
+        s.add_sequence("a", 33)
+        assert s.sequence_blocks("a") == 3  # ceil(33/16)
+
+    def test_no_copy_on_growth(self):
+        s = PagedStore(4096, block_size=16)
+        s.add_sequence("a", 100)
+        for _ in range(300):
+            s.append("a")
+        assert s.stats().copied_tokens == 0
+
+    def test_free_returns_blocks(self):
+        s = PagedStore(1024, block_size=16)
+        s.add_sequence("a", 512)
+        s.free("a")
+        assert s.stats().allocated_tokens == 0
+        s.add_sequence("b", 1024)  # capacity fully reusable
+
+    def test_holes_create_fragmentation(self):
+        s = PagedStore(4096, block_size=16)
+        s.add_sequence("a", 512)
+        s.evict("a", list(range(0, 512, 2)))  # every other slot
+        st_ = s.stats()
+        assert st_.live_tokens == 256
+        assert st_.allocated_tokens == 512  # no block fully dead
+        assert st_.internal_fragmentation == pytest.approx(0.5)
+
+    def test_dead_blocks_need_compaction(self):
+        """Fully dead blocks stay allocated until explicit compaction."""
+        s = PagedStore(4096, block_size=16)
+        s.add_sequence("a", 128)
+        s.evict("a", list(range(0, 32)))  # kill first two blocks entirely
+        assert s.stats().allocated_tokens == 128
+        s.compact_sequence("a")
+        assert s.stats().allocated_tokens == 96
+
+    def test_compaction_recovers_memory(self):
+        s = PagedStore(4096, block_size=16)
+        s.add_sequence("a", 512)
+        s.evict("a", list(range(0, 512, 2)))
+        copied = s.compact_sequence("a")
+        assert copied == 256
+        st_ = s.stats()
+        assert st_.allocated_tokens == 256
+        assert st_.copied_tokens == 256
+
+    def test_failed_admission_rolls_back(self):
+        s = PagedStore(64, block_size=16)
+        s.add_sequence("a", 48)
+        with pytest.raises(CapacityError):
+            s.add_sequence("b", 32)
+        # the partial allocation of "b" must have been released
+        assert s.stats().allocated_tokens == 48
+        s.add_sequence("c", 16)
+
+    def test_invalid_eviction_position(self):
+        s = PagedStore(256, block_size=16)
+        s.add_sequence("a", 10)
+        with pytest.raises(ValueError):
+            s.evict("a", [10])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 200),
+        block=st.sampled_from([8, 16, 32]),
+    )
+    def test_live_token_conservation_property(self, seed, block):
+        """Property: live tokens == appended - evicted, always."""
+        rng = np.random.default_rng(seed)
+        s = PagedStore(16384, block_size=block)
+        appended = {}
+        evicted = {}
+        for i in range(5):
+            n = int(rng.integers(1, 200))
+            s.add_sequence(f"s{i}", n)
+            appended[f"s{i}"] = n
+            evicted[f"s{i}"] = set()
+        for _ in range(30):
+            sid = f"s{int(rng.integers(0, 5))}"
+            if rng.random() < 0.5:
+                s.append(sid)
+                appended[sid] += 1
+            else:
+                alive = [
+                    p for p in range(appended[sid]) if p not in evicted[sid]
+                ]
+                if alive:
+                    p = int(rng.choice(alive))
+                    s.evict(sid, [p])
+                    evicted[sid].add(p)
+        total_live = sum(
+            appended[k] - len(evicted[k]) for k in appended
+        )
+        assert s.stats().live_tokens == total_live
+
+
+class TestQuantizedPaged:
+    def test_migration_on_aging(self):
+        s = QuantizedPagedStore(
+            65536, residual_window=128, group_size=32
+        )
+        s.add_sequence("a", 512)
+        assert s.migrated_tokens == 384  # 512-128 aged out at admission
+        assert s.sequence_tokens("a") == 512
+
+    def test_residual_stays_fp16(self):
+        s = QuantizedPagedStore(65536, residual_window=128)
+        s.add_sequence("a", 200)
+        assert s._seqs["a"].fp16_tokens <= 128 + 32  # window + open group
+
+    def test_effective_bytes_blend(self):
+        s = QuantizedPagedStore(
+            65536, residual_window=128, quant_bytes_per_token=0.25
+        )
+        s.add_sequence("a", 2048)
+        eff = s.effective_bytes_per_token("a")
+        assert 0.25 < eff < 0.35  # mostly quantized
+
+    def test_decode_appends_migrate(self):
+        s = QuantizedPagedStore(65536, residual_window=128, group_size=32)
+        s.add_sequence("a", 128)
+        before = s.migrated_tokens
+        for _ in range(64):
+            s.append("a")
+        assert s.migrated_tokens >= before + 32
+
+    def test_eviction_unsupported(self):
+        s = QuantizedPagedStore(65536)
+        s.add_sequence("a", 64)
+        with pytest.raises(NotImplementedError):
+            s.evict("a", [0])
+
+    def test_free(self):
+        s = QuantizedPagedStore(65536)
+        s.add_sequence("a", 512)
+        s.free("a")
+        assert s.stats().live_tokens == 0
+
+    def test_window_must_cover_group(self):
+        with pytest.raises(ValueError):
+            QuantizedPagedStore(65536, residual_window=16, group_size=32)

@@ -1,0 +1,162 @@
+"""Tests for the runtime KV cache, sampling, and generation plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.cache import LayerCache, SessionCache
+from repro.model.generate import generate, left_pad
+from repro.model.layers import softmax
+from repro.model.sampling import Sampler
+from repro.model.tokenizer import SyntheticTokenizer
+
+
+def _cache(batch=2, kvh=2, dh=4, starts=(0, 0)):
+    return LayerCache(batch, kvh, dh, np.array(starts))
+
+
+class TestLayerCache:
+    def test_append_and_views(self):
+        c = _cache()
+        k = np.ones((2, 2, 3, 4), dtype=np.float32)
+        c.append(k, 2 * k)
+        assert c.length == 3
+        assert c.k.shape == (2, 2, 3, 4)
+        assert (c.v == 2).all()
+
+    def test_growth_preserves_content(self):
+        c = _cache()
+        for i in range(5):
+            c.append(
+                np.full((2, 2, 40, 4), i, dtype=np.float32),
+                np.full((2, 2, 40, 4), i, dtype=np.float32),
+            )
+        assert c.length == 200
+        assert c.capacity >= 200
+        assert (c.k[:, :, 0] == 0).all()
+        assert (c.k[:, :, -1] == 4).all()
+
+    def test_padding_masked(self):
+        c = _cache(starts=(2, 0))
+        c.append(np.zeros((2, 2, 4, 4)), np.zeros((2, 2, 4, 4)))
+        assert not c.keep[0, 0, 0] and not c.keep[0, 0, 1]
+        assert c.keep[0, 0, 2] and c.keep[1, 0, 0]
+
+    def test_evict_and_counts(self):
+        c = _cache()
+        c.append(np.zeros((2, 2, 10, 4)), np.zeros((2, 2, 10, 4)))
+        c.evict(np.array([0]), np.array([1]), np.array([5]))
+        counts = c.retained_counts()
+        assert counts[0, 1] == 9 and counts[0, 0] == 10 and counts[1, 1] == 10
+
+    def test_overwrite(self):
+        c = _cache()
+        c.append(np.zeros((2, 2, 8, 4)), np.zeros((2, 2, 8, 4)))
+        c.overwrite(slice(2, 4), np.ones((2, 2, 2, 4)), np.ones((2, 2, 2, 4)))
+        assert (c.k[:, :, 2:4] == 1).all()
+        assert (c.k[:, :, :2] == 0).all()
+
+    def test_session_cache(self):
+        s = SessionCache(3, 2, 2, 4, np.zeros(2, dtype=int))
+        assert len(s) == 3
+        s[0].append(np.zeros((2, 2, 5, 4)), np.zeros((2, 2, 5, 4)))
+        assert s[0].length == 5
+        assert s.retained_tokens() > 0
+
+
+class TestLeftPad:
+    def test_alignment(self):
+        tokens, starts = left_pad([[1, 2], [1, 2, 3, 4]], pad_id=0)
+        assert tokens.shape == (2, 4)
+        assert list(tokens[0]) == [0, 0, 1, 2]
+        assert list(starts) == [2, 0]
+
+    def test_empty_prompt_raises(self):
+        with pytest.raises(ValueError):
+            left_pad([[1], []], pad_id=0)
+        with pytest.raises(ValueError):
+            left_pad([], pad_id=0)
+
+
+class TestSampler:
+    def test_greedy_argmax(self):
+        s = Sampler(greedy=True)
+        logits = np.array([[0.0, 5.0, 1.0], [9.0, 0.0, 0.0]])
+        assert list(s.sample(logits)) == [1, 0]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Sampler(temperature=0.0)
+        with pytest.raises(ValueError):
+            Sampler(top_p=0.0)
+        with pytest.raises(ValueError):
+            Sampler(top_p=1.5)
+
+    def test_seeded_reproducible(self):
+        logits = np.random.default_rng(0).normal(size=(4, 10))
+        a = Sampler(seed=3).sample(logits)
+        b = Sampler(seed=3).sample(logits)
+        np.testing.assert_array_equal(a, b)
+
+    def test_reseed(self):
+        logits = np.random.default_rng(0).normal(size=(4, 10))
+        s = Sampler(seed=3)
+        first = s.sample(logits)
+        s.reseed(3)
+        np.testing.assert_array_equal(first, s.sample(logits))
+
+    def test_low_temperature_approaches_greedy(self):
+        logits = np.array([[0.0, 3.0, 1.0]] * 100)
+        s = Sampler(temperature=0.05, seed=0)
+        ids = s.sample(logits)
+        assert (ids == 1).mean() > 0.99
+
+    def test_top_p_excludes_tail(self):
+        # one dominant token (p~0.95), top_p=0.5 must always pick it
+        logits = np.array([[5.0, 0.0, 0.0, 0.0]] * 200)
+        s = Sampler(temperature=1.0, top_p=0.5, seed=1)
+        assert (s.sample(logits) == 0).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), temp=st.floats(0.5, 2.0))
+    def test_samples_within_vocab(self, seed, temp):
+        logits = np.random.default_rng(seed).normal(size=(8, 16))
+        ids = Sampler(temperature=temp, seed=seed).sample(logits)
+        assert ((ids >= 0) & (ids < 16)).all()
+
+    def test_sampling_distribution_matches_softmax(self):
+        logits = np.array([[0.0, 1.0, 2.0]])
+        s = Sampler(seed=0)
+        draws = np.array([s.sample(logits)[0] for _ in range(4000)])
+        freq = np.bincount(draws, minlength=3) / 4000
+        expected = softmax(logits)[0]
+        np.testing.assert_allclose(freq, expected, atol=0.04)
+
+
+class TestGenerate:
+    def test_finished_sequences_stop_growing(self, llama_model, prompt_factory):
+        p1, a1, _ = prompt_factory.make(depth=32, tail=16, ans_len=2)
+        p2, a2, _ = prompt_factory.make(depth=32, tail=16, ans_len=6)
+        out = generate(
+            llama_model, [p1, p2], sampler=Sampler(greedy=True), max_new_tokens=12
+        )
+        assert out.response_lengths[0] <= out.response_lengths[1]
+        assert out.sequences[0] == a1
+
+    def test_hit_max_flag(self, llama_model, prompt_factory):
+        p, _, _ = prompt_factory.make(depth=32, tail=16, ans_len=6)
+        out = generate(
+            llama_model, [p], sampler=Sampler(greedy=True), max_new_tokens=2
+        )
+        assert out.hit_max[0]
+        assert out.response_lengths[0] == 2
+
+    def test_output_excludes_specials(self, llama_model, prompt_factory):
+        tok = llama_model.tokenizer
+        p, _, _ = prompt_factory.make()
+        out = generate(
+            llama_model, [p], sampler=Sampler(greedy=True), max_new_tokens=8
+        )
+        assert tok.special.eos not in out.sequences[0]
+        assert tok.special.pad not in out.sequences[0]

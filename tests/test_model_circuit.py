@@ -1,0 +1,141 @@
+"""Tests of the constructed circuit: builder, config, retrieval behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.model.builder import build_weights, code_matrix, token_magnitudes
+from repro.model.config import (
+    FunctionalModelConfig,
+    HeadRole,
+    llama_sim_config,
+    mistral_sim_config,
+)
+from repro.model.generate import generate
+from repro.model.sampling import Sampler
+from repro.model.transformer import FunctionalTransformer
+
+
+class TestConfig:
+    def test_subspaces_tile_d_model(self):
+        cfg = llama_sim_config()
+        spans = [cfg.subspace(n) for n in ("cur", "prev", "out", "scratch")]
+        assert spans[0][0] == 0
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+        assert spans[-1][1] == cfg.d_model
+
+    def test_unknown_subspace(self):
+        with pytest.raises(KeyError):
+            llama_sim_config().subspace("nope")
+
+    def test_head_roles_layout(self):
+        roles = llama_sim_config().head_roles()
+        assert roles[0][0] == HeadRole.PREV_TOKEN
+        assert roles[-1][1] == HeadRole.INDUCTION
+        assert roles[-1][0] == HeadRole.SALIENCE
+        assert roles[-1][2] == HeadRole.SINK
+
+    def test_gqa_divisibility(self):
+        cfg = FunctionalModelConfig(n_heads=4, gqa_group=3)
+        with pytest.raises(ValueError):
+            _ = cfg.n_kv_heads
+
+    def test_mistral_is_gqa(self):
+        cfg = mistral_sim_config()
+        assert cfg.gqa_group == 2
+        assert cfg.n_kv_heads == cfg.n_heads // 2
+
+
+class TestBuilder:
+    def test_code_matrix_orthonormal(self):
+        cfg = llama_sim_config()
+        c = code_matrix(cfg)
+        np.testing.assert_allclose(c @ c.T, np.eye(cfg.vocab_size), atol=1e-10)
+
+    def test_code_matrix_dense(self):
+        """No entry dominates: codes are spread, not one-hot."""
+        c = code_matrix(llama_sim_config())
+        assert np.abs(c).max() < 0.9
+
+    def test_magnitudes_clipped_and_specials_unit(self):
+        cfg = llama_sim_config()
+        m = token_magnitudes(cfg)
+        lo, hi = cfg.magnitude_clip
+        assert (m >= lo).all() and (m <= hi).all()
+        assert (m[:8] == 1.0).all()
+
+    def test_weights_float32(self):
+        w = build_weights(llama_sim_config())
+        assert w.embedding.dtype == np.float32
+        assert w.layers[0].attn.w_q.dtype == np.float32
+        assert w.layers[0].mlp.w_down.dtype == np.float32
+
+    def test_deterministic_given_seed(self):
+        a = build_weights(llama_sim_config(seed=7))
+        b = build_weights(llama_sim_config(seed=7))
+        np.testing.assert_array_equal(a.embedding, b.embedding)
+
+    def test_seed_changes_weights(self):
+        a = build_weights(llama_sim_config(seed=7))
+        b = build_weights(llama_sim_config(seed=8))
+        assert not np.array_equal(a.embedding, b.embedding)
+
+    def test_bos_pad_never_emitted(self):
+        w = build_weights(llama_sim_config())
+        assert w.logit_bias[0] < -1e8  # pad
+        assert w.logit_bias[1] < -1e8  # bos
+
+    def test_head_dim_must_match_vocab(self):
+        with pytest.raises(ValueError):
+            build_weights(FunctionalModelConfig(vocab_size=64, head_dim=32))
+
+
+class TestRetrieval:
+    def test_greedy_retrieval_exact(self, llama_model, prompt_factory):
+        prompts, answers = [], []
+        for _ in range(6):
+            p, a, _ = prompt_factory.make(depth=128, tail=64, ans_len=3)
+            prompts.append(p)
+            answers.append(a)
+        out = generate(
+            llama_model, prompts, sampler=Sampler(greedy=True), max_new_tokens=8
+        )
+        assert sum(s == a for s, a in zip(out.sequences, answers)) >= 5
+
+    def test_eos_terminates(self, llama_model, prompt_factory):
+        p, a, _ = prompt_factory.make(depth=64, tail=32, ans_len=3)
+        out = generate(
+            llama_model, [p], sampler=Sampler(greedy=True), max_new_tokens=32
+        )
+        assert out.response_lengths[0] == 3
+        assert not out.hit_max[0]
+
+    def test_gqa_model_also_retrieves(self, mistral_model, prompt_factory):
+        prompts, answers = [], []
+        for _ in range(4):
+            p, a, _ = prompt_factory.make(depth=96, tail=48, ans_len=3)
+            prompts.append(p)
+            answers.append(a)
+        out = generate(
+            mistral_model, prompts, sampler=Sampler(greedy=True), max_new_tokens=8
+        )
+        assert sum(s == a for s, a in zip(out.sequences, answers)) >= 3
+
+    def test_recency_prefers_latest_record(self, llama_model, prompt_factory):
+        """With a same-key decoy earlier, the later record must win."""
+        p, answer, decoy = prompt_factory.make(
+            depth=64, tail=64, ans_len=3, decoy_gap=600
+        )
+        out = generate(
+            llama_model, [p], sampler=Sampler(greedy=True), max_new_tokens=8
+        )
+        assert out.sequences[0] == answer
+        assert out.sequences[0] != decoy
+
+    def test_deeper_model_still_works(self, prompt_factory):
+        model = FunctionalTransformer(llama_sim_config(n_layers=3))
+        p, a, _ = prompt_factory.make(depth=64, tail=32, ans_len=3)
+        out = generate(
+            model, [p], sampler=Sampler(greedy=True), max_new_tokens=8
+        )
+        assert out.sequences[0] == a

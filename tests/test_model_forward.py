@@ -1,0 +1,120 @@
+"""Tests of transformer forward internals and architecture presets."""
+
+import numpy as np
+import pytest
+
+import repro.model.transformer as transformer_mod
+from repro.model.arch import (
+    LLAMA_7B,
+    LLAMA_70B,
+    MISTRAL_7B,
+    get_arch,
+    list_archs,
+)
+from repro.model.config import llama_sim_config, mistral_sim_config
+from repro.model.generate import generate, left_pad
+from repro.model.sampling import Sampler
+from repro.model.transformer import FunctionalTransformer
+
+
+class TestArchPresets:
+    def test_lookup(self):
+        assert get_arch("llama-7b") is LLAMA_7B
+        with pytest.raises(KeyError):
+            get_arch("gpt-4")
+        assert "mistral-7b" in list_archs()
+
+    def test_param_counts_plausible(self):
+        """Presets land near their nominal parameter counts."""
+        assert 6.0e9 < LLAMA_7B.param_count() < 7.5e9
+        assert 65e9 < LLAMA_70B.param_count() < 75e9
+        assert 6.5e9 < MISTRAL_7B.param_count() < 8.0e9
+
+    def test_gqa_dimensions(self):
+        assert LLAMA_70B.gqa_group == 8
+        assert MISTRAL_7B.kv_dim == 8 * 128
+        assert LLAMA_7B.gqa_group == 1
+
+    def test_kv_bytes(self):
+        # llama-7b: 2 * 32 layers * 4096 * 2 bytes = 1 MiB per token
+        assert LLAMA_7B.kv_bytes_per_token() == 2 * 32 * 4096 * 2
+        assert MISTRAL_7B.kv_bytes_per_token() == LLAMA_7B.kv_bytes_per_token() // 4
+
+
+class TestChunkedPrefill:
+    def test_chunked_matches_unchunked(self, prompt_factory, monkeypatch):
+        """Query chunking must not change prefill outputs."""
+        p, _, _ = prompt_factory.make(depth=200, tail=100, ans_len=3)
+        cfg = llama_sim_config()
+
+        def run(chunk_elements):
+            monkeypatch.setattr(
+                transformer_mod, "_CHUNK_ELEMENTS", chunk_elements
+            )
+            model = FunctionalTransformer(cfg)
+            tokens, starts = left_pad([p], model.tokenizer.special.pad)
+            cache = model.new_cache(1, starts)
+            return model.prefill(tokens, cache, None)
+
+        big = run(10**9)     # single chunk
+        small = run(50_000)  # many chunks
+        np.testing.assert_allclose(big, small, rtol=1e-4, atol=1e-4)
+
+    def test_flash_impl_matches_naive_generation(self, prompt_factory):
+        cfg = llama_sim_config()
+        naive = FunctionalTransformer(cfg, attention_impl="naive")
+        flash = FunctionalTransformer(cfg, attention_impl="flash")
+        p, a, _ = prompt_factory.make(depth=100, tail=60, ans_len=3)
+        out_n = generate(naive, [p], sampler=Sampler(greedy=True), max_new_tokens=6)
+        out_f = generate(flash, [p], sampler=Sampler(greedy=True), max_new_tokens=6)
+        assert out_n.sequences == out_f.sequences == [a]
+
+
+class TestBatchInvariance:
+    def test_batched_matches_single(self, llama_model, prompt_factory):
+        """Left-padded batching must not change greedy outputs."""
+        prompts = []
+        for n in (60, 140, 220):  # deliberately unequal lengths
+            p, _, _ = prompt_factory.make(depth=n, tail=40, ans_len=3)
+            prompts.append(p)
+        batched = generate(
+            llama_model, prompts, sampler=Sampler(greedy=True), max_new_tokens=6
+        )
+        singles = [
+            generate(
+                llama_model, [p], sampler=Sampler(greedy=True), max_new_tokens=6
+            ).sequences[0]
+            for p in prompts
+        ]
+        assert batched.sequences == singles
+
+    def test_batched_compression_matches_single(self, llama_model, prompt_factory):
+        from repro.compression import create
+
+        prompts = []
+        for n in (80, 200):
+            p, _, _ = prompt_factory.make(depth=n, tail=500, ans_len=3)
+            prompts.append(p)
+        comp = create("stream-256")
+        batched = generate(
+            llama_model, prompts, compressor=comp,
+            sampler=Sampler(greedy=True), max_new_tokens=6,
+        )
+        singles = [
+            generate(
+                llama_model, [p], compressor=create("stream-256"),
+                sampler=Sampler(greedy=True), max_new_tokens=6,
+            ).sequences[0]
+            for p in prompts
+        ]
+        assert batched.sequences == singles
+
+
+class TestGQAForward:
+    def test_gqa_cache_has_fewer_heads(self, mistral_model, prompt_factory):
+        p, _, _ = prompt_factory.make(depth=60, tail=30)
+        tokens, starts = left_pad([p], mistral_model.tokenizer.special.pad)
+        cache = mistral_model.new_cache(1, starts)
+        mistral_model.prefill(tokens, cache, None)
+        cfg = mistral_model.config
+        assert cache[0].k.shape[1] == cfg.n_kv_heads == cfg.n_heads // 2

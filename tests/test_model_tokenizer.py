@@ -1,0 +1,50 @@
+"""Tests for the synthetic tokenizer."""
+
+import pytest
+
+from repro.model.tokenizer import SyntheticTokenizer
+
+
+class TestSyntheticTokenizer:
+    def test_default_vocab(self):
+        tok = SyntheticTokenizer()
+        assert tok.vocab_size == 64
+        assert tok.n_content == 56
+
+    def test_special_ids_distinct(self):
+        tok = SyntheticTokenizer()
+        sp = tok.special
+        ids = [sp.pad, sp.bos, sp.eos, sp.sep, sp.q, sp.a, sp.nl, sp.fn]
+        assert len(set(ids)) == len(ids)
+        assert all(i < tok.content_start for i in ids)
+
+    def test_roundtrip(self):
+        tok = SyntheticTokenizer()
+        ids = [1, 4, 20, 30, 3, 2]
+        assert tok.encode(tok.decode(ids)) == ids
+
+    def test_name_lookup(self):
+        tok = SyntheticTokenizer()
+        assert tok.name(tok.special.eos) == "<eos>"
+        assert tok.id("w10") == 10
+
+    def test_unknown_symbol(self):
+        with pytest.raises(KeyError):
+            SyntheticTokenizer().encode("nonexistent")
+
+    def test_validate(self):
+        tok = SyntheticTokenizer()
+        tok.validate([0, 63])
+        with pytest.raises(ValueError):
+            tok.validate([64])
+        with pytest.raises(ValueError):
+            tok.validate([-1])
+
+    def test_min_vocab_enforced(self):
+        with pytest.raises(ValueError):
+            SyntheticTokenizer(vocab_size=8)
+
+    def test_content_ids_disjoint_from_specials(self):
+        tok = SyntheticTokenizer(vocab_size=32)
+        assert min(tok.content_ids) == tok.content_start
+        assert max(tok.content_ids) == 31

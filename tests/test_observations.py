@@ -1,0 +1,48 @@
+"""Tests for the programmatic Observation checks."""
+
+from repro.analysis.observations import (
+    check_observation_1,
+    check_observation_2,
+    check_observation_3,
+    check_observation_5,
+    verify_all,
+)
+from repro.core.config import ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny3",
+    sharegpt_requests=16,
+    longbench_per_task=3,
+    router_requests=16,
+    max_new_tokens=32,
+    batch_size=8,
+)
+
+
+class TestAnalyticObservations:
+    def test_observation_1_holds(self):
+        check = check_observation_1()
+        assert check.holds
+        assert check.evidence["speedup_trl"] > check.evidence["speedup_lmdeploy"]
+
+    def test_observation_2_holds(self):
+        check = check_observation_2()
+        assert check.holds
+
+    def test_evidence_is_plain_floats(self):
+        check = check_observation_1()
+        assert all(isinstance(v, float) for v in check.evidence.values())
+
+
+class TestGenerativeObservations:
+    def test_observation_3_structure(self):
+        check = check_observation_3(TINY)
+        assert check.observation == 3
+        assert "flatness_kivi2" in check.evidence
+
+    def test_observation_5_structure(self):
+        check = check_observation_5(TINY)
+        assert set(check.evidence) >= {"neg_combined"}
+        # the ensemble can never have MORE negatives than the best single
+        singles = [v for k, v in check.evidence.items() if k != "neg_combined"]
+        assert check.evidence["neg_combined"] <= min(singles)

@@ -1,0 +1,121 @@
+"""Tests for the affine group quantization codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.quant.codec import (
+    payload_bytes_ratio,
+    quant_dequant_per_channel,
+    quant_dequant_per_token,
+    roundtrip_stats,
+)
+
+
+class TestPerChannel:
+    def test_extremes_exact(self):
+        """Group min/max are representable exactly."""
+        x = np.random.default_rng(0).normal(size=(2, 3, 32, 8))
+        y = quant_dequant_per_channel(x, bits=4)
+        lo = x.min(axis=-2)
+        hi = x.max(axis=-2)
+        np.testing.assert_allclose(y.min(axis=-2), lo, atol=1e-12)
+        np.testing.assert_allclose(y.max(axis=-2), hi, atol=1e-12)
+
+    def test_error_bounded_by_half_step(self):
+        x = np.random.default_rng(1).normal(size=(4, 32, 16))
+        for bits in (2, 4, 8):
+            y = quant_dequant_per_channel(x, bits)
+            span = x.max(axis=-2) - x.min(axis=-2)
+            step = span / (2**bits - 1)
+            err = np.abs(y - x)
+            assert (err <= step[..., None, :] / 2 + 1e-12).all()
+
+    def test_more_bits_less_error(self):
+        x = np.random.default_rng(2).normal(size=(2, 32, 8))
+        errs = [
+            np.abs(quant_dequant_per_channel(x, b) - x).mean()
+            for b in (2, 4, 8)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_constant_channel_lossless(self):
+        x = np.full((1, 16, 4), 3.7)
+        np.testing.assert_allclose(quant_dequant_per_channel(x, 2), x)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quant_dequant_per_channel(np.zeros((1, 4, 4)), 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arr=arrays(
+            np.float64,
+            (2, 16, 4),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        bits=st.integers(1, 8),
+    )
+    def test_roundtrip_error_bound_property(self, arr, bits):
+        """Property: |x - deq(q(x))| <= step/2 for every element."""
+        y = quant_dequant_per_channel(arr, bits)
+        span = arr.max(axis=-2, keepdims=True) - arr.min(axis=-2, keepdims=True)
+        step = np.where(span > 0, span / (2**bits - 1), 1.0)
+        assert (np.abs(y - arr) <= step / 2 + 1e-9).all()
+
+
+class TestPerToken:
+    def test_group_shape_validation(self):
+        with pytest.raises(ValueError):
+            quant_dequant_per_token(np.zeros((1, 4, 10)), 4, group_channels=3)
+
+    def test_error_bounded(self):
+        x = np.random.default_rng(3).normal(size=(2, 8, 64))
+        y = quant_dequant_per_token(x, 4, group_channels=32)
+        xg = x.reshape(2, 8, 2, 32)
+        span = xg.max(axis=-1) - xg.min(axis=-1)
+        step = (span / 15).reshape(2, 8, 2, 1)
+        err = np.abs((y - x).reshape(2, 8, 2, 32))
+        assert (err <= step / 2 + 1e-12).all()
+
+    def test_shape_preserved(self):
+        x = np.random.default_rng(4).normal(size=(3, 5, 64))
+        assert quant_dequant_per_token(x, 2, 32).shape == x.shape
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        bits=st.integers(1, 8),
+        group=st.sampled_from([4, 8, 16]),
+    )
+    def test_idempotent_property(self, seed, bits, group):
+        """Property: quantizing twice equals quantizing once."""
+        x = np.random.default_rng(seed).normal(size=(2, 6, 16))
+        once = quant_dequant_per_token(x, bits, group)
+        twice = quant_dequant_per_token(once, bits, group)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+class TestStatsAndRatio:
+    def test_roundtrip_stats(self):
+        x = np.random.default_rng(5).normal(size=(2, 16, 8))
+        y = quant_dequant_per_channel(x, 4)
+        s = roundtrip_stats(x, y, 4)
+        assert s.bits == 4
+        assert s.n_elements == x.size
+        assert 0 <= s.mean_abs_error <= s.max_abs_error
+
+    def test_payload_ratio_ordering(self):
+        r2 = payload_bytes_ratio(2, 128, 32)
+        r4 = payload_bytes_ratio(4, 128, 32)
+        r8 = payload_bytes_ratio(8, 128, 32)
+        assert r2 < r4 < r8 < 1.0
+
+    def test_payload_ratio_value(self):
+        # 4 bits payload + 2 fp16 scales per 32-group = 0.25 + 0.0625
+        assert payload_bytes_ratio(4, 128, 32) == pytest.approx(0.3125)
+
+    def test_small_groups_cost_more_metadata(self):
+        assert payload_bytes_ratio(4, 128, 8) > payload_bytes_ratio(4, 128, 64)

@@ -1,0 +1,190 @@
+"""Tests for the serving simulator, router and latency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.compression import NoCompression, create
+from repro.engines import LMDEPLOY, TRL, ServingCostModel
+from repro.hardware import A6000
+from repro.model.arch import LLAMA_7B
+from repro.serving import (
+    LatencySummary,
+    RoutedRequest,
+    Router,
+    RoutingPolicy,
+    ServerInstance,
+    ServingRequest,
+    cdf,
+    tbot,
+)
+
+FP16 = NoCompression().cost_spec()
+
+
+def instance(comp=FP16, engine=LMDEPLOY, max_batch=32):
+    cm = ServingCostModel(LLAMA_7B, A6000, engine)
+    return ServerInstance(cm, comp, max_batch=max_batch)
+
+
+def requests(n, prompt=256, resp=32, spacing=1.0, start=0.0):
+    return [
+        ServingRequest(
+            request_id=f"r{i}",
+            arrival=start + i * spacing,
+            prompt_len=prompt,
+            response_len=resp,
+        )
+        for i in range(n)
+    ]
+
+
+class TestServingRequest:
+    def test_latency_properties(self):
+        r = ServingRequest("a", arrival=1.0, prompt_len=10, response_len=5)
+        r.first_token = 1.5
+        r.finish = 3.0
+        assert r.ttft == pytest.approx(0.5)
+        assert r.e2e_latency == pytest.approx(2.0)
+        assert r.total_tokens == 15
+
+    def test_unserved_raises(self):
+        r = ServingRequest("a", 0.0, 10, 5)
+        with pytest.raises(RuntimeError):
+            _ = r.ttft
+
+
+class TestServerInstance:
+    def test_all_requests_complete(self):
+        inst = instance()
+        res = inst.run(requests(12, spacing=0.05))
+        assert all(r.finish is not None for r in res.requests)
+        assert all(r.generated >= r.response_len for r in res.requests)
+
+    def test_latency_positive_and_ordered(self):
+        inst = instance()
+        res = inst.run(requests(6, spacing=0.2))
+        assert (res.e2e > 0).all()
+        assert (res.ttft <= res.e2e + 1e-9).all()
+
+    def test_idle_server_fast_single_request(self):
+        inst = instance()
+        res = inst.run(requests(1))
+        # prefill + 31 decode steps at ~20ms/step: well under 2 seconds
+        assert res.mean_e2e() < 2.0
+
+    def test_congestion_raises_latency(self):
+        light = instance().run(requests(8, spacing=2.0))
+        heavy = instance().run(requests(8, spacing=0.01))
+        assert heavy.mean_e2e() > light.mean_e2e()
+
+    def test_compressed_instance_admits_more_tokens(self):
+        fp = instance(FP16)
+        sp = instance(create("stream-512").cost_spec())
+        assert sp.token_budget >= fp.token_budget
+
+    def test_static_batching_engine(self):
+        inst = instance(engine=TRL)
+        res = inst.run(requests(6, spacing=0.01))
+        assert all(r.finish is not None for r in res.requests)
+
+    def test_continuous_beats_static_under_load(self):
+        reqs_a = requests(10, spacing=0.05)
+        reqs_b = requests(10, spacing=0.05)
+        cont = instance(engine=LMDEPLOY).run(reqs_a)
+        stat = instance(engine=TRL).run(reqs_b)
+        assert cont.mean_e2e() < stat.mean_e2e()
+
+    def test_percentiles(self):
+        res = instance().run(requests(10, spacing=0.1))
+        assert res.percentile_e2e(99) >= res.percentile_e2e(50)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            instance(max_batch=0)
+
+
+class TestRouter:
+    def _routed(self, n=16, algos=("fp16", "stream-512")):
+        rng = np.random.default_rng(0)
+        arr = np.cumsum(rng.exponential(0.2, size=n))
+        return [
+            RoutedRequest(
+                request_id=f"r{i}",
+                arrival=float(arr[i]),
+                prompt_len=int(rng.integers(128, 512)),
+                intended_len=24,
+                lengths_by_algo={a: 24 for a in algos},
+            )
+            for i in range(n)
+        ]
+
+    def test_load_balance_spreads(self):
+        insts = [instance() for _ in range(4)]
+        router = Router(
+            insts, ["fp16"] * 4, RoutingPolicy.LOAD_BALANCE
+        )
+        res = router.serve(self._routed(16, ("fp16",)))
+        used = set(res.assignment.values())
+        assert len(used) >= 3  # requests spread over instances
+
+    def test_policy_requires_predictors(self):
+        insts = [instance() for _ in range(2)]
+        with pytest.raises(ValueError):
+            Router(insts, ["fp16", "fp16"], RoutingPolicy.THROUGHPUT)
+        with pytest.raises(ValueError):
+            Router(insts, ["fp16", "fp16"], RoutingPolicy.LENGTH)
+
+    def test_instance_algo_mismatch(self):
+        with pytest.raises(ValueError):
+            Router([instance()], ["a", "b"], RoutingPolicy.LOAD_BALANCE)
+
+    def test_length_policy_prefers_short(self):
+        algos = ["fp16", "stream-512"]
+        insts = [instance(), instance(create("stream-512").cost_spec())]
+        reqs = self._routed(8, tuple(algos))
+        for r in reqs:
+            r.lengths_by_algo = {"fp16": 10, "stream-512": 40}
+        router = Router(
+            insts, algos, RoutingPolicy.LENGTH,
+            length_fn=lambda req, a: float(req.lengths_by_algo[a]),
+        )
+        res = router.serve(reqs)
+        assert all(idx == 0 for idx in res.assignment.values())
+
+    def test_all_served(self):
+        algos = ["fp16", "stream-512", "stream-512", "stream-512"]
+        insts = [
+            instance(
+                FP16 if a == "fp16" else create(a).cost_spec()
+            )
+            for a in algos
+        ]
+        router = Router(
+            insts, algos, RoutingPolicy.BOTH,
+            throughput_fn=lambda a, b, kv: 200.0,
+            length_fn=lambda req, a: 24.0,
+        )
+        res = router.serve(self._routed(20, tuple(set(algos))))
+        assert len(res.all_e2e()) == 20
+
+
+class TestMetrics:
+    def test_summary(self):
+        s = LatencySummary.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.max == 4.0
+        assert s.p50 <= s.p90 <= s.p99
+        assert set(s.as_dict()) == {"mean", "p50", "p90", "p99", "max"}
+
+    def test_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_samples([])
+
+    def test_cdf_monotone(self):
+        xs, ys = cdf(np.random.default_rng(0).exponential(1.0, 500))
+        assert (np.diff(ys) >= 0).all()
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_tbot(self):
+        assert tbot(e2e=10.0, ttft=1.0, response_len=10) == pytest.approx(1.0)
+        assert tbot(5.0, 5.0, 1) == 0.0

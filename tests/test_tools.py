@@ -1,0 +1,227 @@
+"""Tests for the Section 5 tool suite."""
+
+import numpy as np
+import pytest
+
+from repro.compression import NoCompression, create
+from repro.engines import LMDEPLOY, ServingCostModel
+from repro.hardware import A6000
+from repro.model.arch import LLAMA_7B
+from repro.model.tokenizer import SyntheticTokenizer
+from repro.tools import (
+    LengthPredictor,
+    N_FEATURES,
+    NegativeSampleAnalysis,
+    ScoredSample,
+    ThroughputPredictor,
+    batch_features,
+    prompt_features,
+    train_per_algorithm,
+)
+from repro.tools.length_predictor import make_buckets, quantile_buckets
+
+
+class TestFeatures:
+    def test_shape(self):
+        tok = SyntheticTokenizer()
+        sp = tok.special
+        prompt = [sp.bos, 10, 11, sp.q, 40, 50, 51, sp.sep, 12, sp.q, 40]
+        f = prompt_features(prompt, tok)
+        assert f.shape == (N_FEATURES,)
+        assert f[0] == 1.0  # bias
+
+    def test_answer_span_feature(self):
+        tok = SyntheticTokenizer()
+        sp = tok.special
+        prompt = [sp.bos, sp.q, 40, 50, 51, 52, sp.sep, sp.q, 40]
+        f = prompt_features(prompt, tok)
+        assert f[6] == pytest.approx(np.log1p(3))  # span of 3 values
+
+    def test_conflict_counting(self):
+        tok = SyntheticTokenizer()
+        sp = tok.special
+        one = [sp.bos, sp.q, 40, 50, sp.sep, sp.q, 40]
+        two = [sp.bos, sp.q, 40, 51, sp.sep, sp.q, 40, 50, sp.sep, sp.q, 40]
+        assert prompt_features(two, tok)[7] > prompt_features(one, tok)[7]
+
+    def test_batch_features(self):
+        tok = SyntheticTokenizer()
+        sp = tok.special
+        prompts = [[sp.bos, sp.q, 40, 50, sp.sep, sp.q, 40]] * 3
+        assert batch_features(prompts, tok).shape == (3, N_FEATURES)
+
+    def test_token_stats_feature(self):
+        tok = SyntheticTokenizer()
+        sp = tok.special
+        stats = np.ones(64)
+        stats[40] = 0.5
+        prompt = [sp.bos, sp.q, 40, 50, sp.sep, sp.q, 40]
+        f = prompt_features(prompt, tok, token_stats=stats)
+        assert f[10] == 0.5  # final-key magnitude
+
+
+class TestLengthPredictor:
+    def _data(self, n=400, seed=0):
+        """Synthetic but learnable: length ~ answer-span feature."""
+        rng = np.random.default_rng(seed)
+        tok = SyntheticTokenizer()
+        sp = tok.special
+        prompts, lengths = [], []
+        for _ in range(n):
+            span = int(rng.integers(3, 24))
+            vals = [int(x) for x in rng.integers(36, 63, size=span)]
+            key = 35
+            p = [sp.bos] + [int(x) for x in rng.integers(8, 35, size=40)]
+            p += [sp.q, key] + vals + [sp.sep]
+            p += [int(x) for x in rng.integers(8, 35, size=20)] + [sp.q, key]
+            prompts.append(p)
+            lengths.append(max(1, span + int(rng.integers(-1, 2))))
+        return prompts, lengths, tok
+
+    def test_learnable_mapping(self):
+        prompts, lengths, tok = self._data()
+        trained = train_per_algorithm(
+            prompts, {"fp16": lengths}, tokenizer=tok
+        )
+        assert trained["fp16"]["accuracy"] > 0.8
+
+    def test_bucket_helpers(self):
+        b = make_buckets(512, 12)
+        assert b[0] == 1 and b[-1] == 512
+        q = quantile_buckets([3, 3, 4, 8, 9, 20, 40], 4)
+        assert (np.diff(q) > 0).all()
+
+    def test_unfitted_raises(self):
+        p = LengthPredictor()
+        with pytest.raises(RuntimeError):
+            p.predict_length(np.zeros((1, N_FEATURES)))
+
+    def test_feature_dim_checked(self):
+        p = LengthPredictor()
+        with pytest.raises(ValueError):
+            p.fit(np.zeros((10, 5)), [1] * 10)
+
+    def test_accuracy_definition(self):
+        prompts, lengths, tok = self._data(n=200)
+        trained = train_per_algorithm(prompts, {"x": lengths}, tokenizer=tok)
+        pred = trained["x"]["predictor"]
+        feats = batch_features(prompts, tok)
+        acc = pred.accuracy(feats, lengths)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestThroughputPredictor:
+    def _predictor(self, noise=0.0):
+        cm = ServingCostModel(LLAMA_7B, A6000, LMDEPLOY)
+        specs = {
+            "fp16": NoCompression().cost_spec(),
+            "stream-512": create("stream-512").cost_spec(),
+        }
+        return ThroughputPredictor(
+            cm, specs, profile_noise=noise, seed=0
+        ).profile()
+
+    def test_on_grid_near_exact(self):
+        p = self._predictor(noise=0.0)
+        cm = ServingCostModel(LLAMA_7B, A6000, LMDEPLOY)
+        gt = cm.decode_step(8, 1024, NoCompression().cost_spec()).seconds
+        pred = p.predict_seconds("fp16", "decode", 8, 1024)
+        assert pred == pytest.approx(gt, rel=0.02)
+
+    def test_off_grid_accuracy(self):
+        p = self._predictor(noise=0.03)
+        acc = p.accuracy(
+            [("decode", 3, 700), ("decode", 12, 1500), ("prefill", 6, 900)]
+        )
+        assert all(v > 0.8 for v in acc.values())
+
+    def test_throughput_helpers(self):
+        p = self._predictor()
+        assert p.predict_decode_throughput("fp16", 8, 1024) > 0
+        assert p.predict_prefill_throughput("fp16", 4, 512) > 0
+
+    def test_unknown_algo_or_stage(self):
+        p = self._predictor()
+        with pytest.raises(KeyError):
+            p.predict_seconds("zip", "decode", 1, 128)
+        with pytest.raises(ValueError):
+            p.predict_seconds("fp16", "train", 1, 128)
+
+
+class TestNegativeSampler:
+    def _analysis(self):
+        baseline = {}
+        kivi = {}
+        gear = {}
+        # 10 samples: baseline perfect; kivi fails 0-2, gear fails 1-3
+        for i in range(10):
+            sid = f"s{i}"
+            baseline[sid] = ScoredSample(sid, "qa", 1.0)
+            kivi[sid] = ScoredSample(sid, "qa", 0.0 if i <= 2 else 1.0)
+            gear[sid] = ScoredSample(sid, "qa", 0.0 if 1 <= i <= 3 else 1.0)
+        return NegativeSampleAnalysis(baseline, {"kivi": kivi, "gear": gear})
+
+    def test_single_algo_negatives(self):
+        a = self._analysis()
+        assert a.negatives(["kivi"], 0.1) == {"s0", "s1", "s2"}
+        assert a.negatives(["gear"], 0.1) == {"s1", "s2", "s3"}
+
+    def test_combined_set_is_intersection(self):
+        """Algorithm 1: a sample is negative only if ALL algos fail."""
+        a = self._analysis()
+        assert a.negatives(["kivi", "gear"], 0.1) == {"s1", "s2"}
+
+    def test_threshold_one_keeps_only_total_failures(self):
+        a = self._analysis()
+        assert a.negatives(["kivi"], 1.0) == set()  # score 0 >= 0*base
+
+    def test_benign_filter(self):
+        baseline = {
+            "good": ScoredSample("good", "qa", 1.0),
+            "bad": ScoredSample("bad", "qa", 0.0),
+        }
+        algo = {
+            "good": ScoredSample("good", "qa", 0.0),
+            "bad": ScoredSample("bad", "qa", 0.0),
+        }
+        a = NegativeSampleAnalysis(baseline, {"x": algo})
+        assert a.negatives(["x"], 0.1) == {"good"}  # 'bad' is not benign
+
+    def test_counts_by_threshold_monotone(self):
+        a = self._analysis()
+        counts = a.counts_by_threshold(
+            {"kivi": ["kivi"]}, [0.05, 0.5, 0.99]
+        )["kivi"]
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_counts_by_task(self):
+        a = self._analysis()
+        assert a.counts_by_task(["kivi"], 0.1) == {"qa": 3}
+
+    def test_benchmark_union(self):
+        a = self._analysis()
+        assert a.benchmark_ids(["kivi", "gear"], 0.1) == [
+            "s0", "s1", "s2", "s3"
+        ]
+
+    def test_scores_on_groups(self):
+        a = self._analysis()
+        table = a.scores_on(["s0", "s1"], {"qa": "Question Answering"})
+        row = table["Question Answering"]
+        assert row["baseline"] == 100.0
+        assert row["kivi"] == 0.0
+
+    def test_missing_scores_rejected(self):
+        baseline = {"a": ScoredSample("a", "qa", 1.0)}
+        with pytest.raises(ValueError):
+            NegativeSampleAnalysis(baseline, {"x": {}})
+
+    def test_invalid_theta(self):
+        a = self._analysis()
+        with pytest.raises(ValueError):
+            a.negatives(["kivi"], 1.5)
+
+    def test_unknown_algo(self):
+        a = self._analysis()
+        with pytest.raises(KeyError):
+            a.negatives(["zip"], 0.1)
