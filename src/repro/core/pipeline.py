@@ -27,6 +27,10 @@ from repro.model.config import (
 from repro.model.generate import GenerationOutput, generate
 from repro.model.sampling import Sampler
 from repro.model.transformer import FunctionalTransformer
+from repro.serving.request import ServingRequest
+from repro.serving.scheduler import make_policy
+from repro.serving.simulator import ServerInstance, SimulationResult
+from repro.serving.trace import Trace
 
 _MODEL_FLAVOURS = {
     "llama-sim": llama_sim_config,
@@ -154,3 +158,38 @@ class CompressedGenerationPipeline:
         return self.cost_model.memory.max_batch(
             self.compressor.memory_spec(self.arch), kv_len
         )
+
+    # ------------------------------------------------------------------
+    def serving_instance(
+        self,
+        max_batch: int = 64,
+        scheduler: str = "fcfs",
+        admission: str = "reserve",
+    ) -> ServerInstance:
+        """Build an event-driven serving instance for this deployment."""
+        return ServerInstance(
+            self.cost_model,
+            self.compressor.cost_spec(),
+            max_batch=max_batch,
+            scheduler=make_policy(scheduler),
+            admission=admission,
+        )
+
+    def simulate_serving(
+        self,
+        requests: Sequence[ServingRequest],
+        max_batch: int = 64,
+        scheduler: str = "fcfs",
+        admission: str = "reserve",
+        with_trace: bool = False,
+    ) -> SimulationResult:
+        """Serve a request stream under this algorithm's cost profile.
+
+        ``scheduler`` is one of ``fcfs`` / ``shortest`` / ``priority``;
+        ``admission`` is ``reserve`` (peak footprint reserved up front)
+        or ``dynamic`` (live footprint with recompute preemption).  With
+        ``with_trace=True`` the result carries a step-level
+        :class:`~repro.serving.trace.Trace` for timeline inspection.
+        """
+        inst = self.serving_instance(max_batch, scheduler, admission)
+        return inst.run(requests, trace=Trace() if with_trace else None)

@@ -52,29 +52,59 @@ def e2e_latencies(
     return out
 
 
+def mean_tbot(
+    scale: ExperimentScale,
+    model: str = "llama",
+    algos: Sequence[str] = ALL_ALGOS,
+    arch: str = "llama-7b",
+    gpu: str = "a6000",
+    engine: str = "lmdeploy",
+) -> Dict[str, float]:
+    """algo -> mean time between output tokens (seconds) at batch 1."""
+    reqs = sharegpt_requests(scale)
+    m = cost_model(arch, gpu, engine)
+    out: Dict[str, float] = {}
+    for algo in algos:
+        spec = comp_spec(algo)
+        lens = sharegpt_run(scale, algo, 1.0, model).lengths
+        steps = [
+            m.decode_step(
+                1, r.prompt_len + max(1, int(lens[i])) // 2, spec
+            ).seconds
+            for i, r in enumerate(reqs)
+        ]
+        out[algo] = float(np.mean(steps))
+    return out
+
+
 def run(
     scale: ExperimentScale = None, model: str = "llama"
 ) -> ExperimentResult:
     """Reproduce Figure 5."""
     scale = scale or current_scale()
     lats = e2e_latencies(scale, model)
+    tbots = mean_tbot(scale, model)
     res = ExperimentResult(
         name=f"Figure 5 — end-to-end latency CDF ({model})",
         description=(
             "Per-sample E2E latency at batch 1 combining each "
             "algorithm's decode speed with its own response lengths."
         ),
-        data={"latencies": lats},
+        data={"latencies": lats, "tbot": tbots},
     )
     rows = []
     for algo, arr in lats.items():
         s = LatencySummary.from_samples(arr)
         rows.append(
-            [algo, f"{s.mean:.2f}", f"{s.p50:.2f}", f"{s.p90:.2f}", f"{s.p99:.2f}"]
+            [
+                algo,
+                f"{s.mean:.2f}", f"{s.p50:.2f}", f"{s.p90:.2f}", f"{s.p99:.2f}",
+                f"{tbots[algo] * 1e3:.1f}",
+            ]
         )
     res.tables.append(
         format_table(
-            ["algo", "mean (s)", "p50", "p90", "p99"],
+            ["algo", "mean (s)", "p50", "p90", "p99", "tbot (ms)"],
             rows,
             title="E2E latency summary:",
         )

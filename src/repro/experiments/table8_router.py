@@ -5,6 +5,12 @@ runs the same configuration on all four with load balancing; the three
 predictor policies run FP16 on one instance and the compression
 algorithm on the other three, routing each request by predicted
 throughput, predicted length, or predicted end-to-end latency.
+
+All paper rows use the *offline* routing mode (assignments made up
+front from predictor estimates — parity with the seed reproduction);
+the extra "w/ Both (online)" row re-runs the best policy with the
+shared-clock cluster making per-arrival decisions from live queue
+depth and KV-token occupancy.
 """
 
 from __future__ import annotations
@@ -115,7 +121,8 @@ def router_table(
         return pred_len.get(req.request_id, {}).get(algo, float(req.intended_len))
 
     out: Dict[str, Dict[str, float]] = {
-        "Baseline": {}, "w/ Throughput": {}, "w/ Length": {}, "w/ Both": {}
+        "Baseline": {}, "w/ Throughput": {}, "w/ Length": {}, "w/ Both": {},
+        "w/ Both (online)": {},
     }
 
     # FP16 baseline: 4 identical FP16 instances, load balanced
@@ -131,10 +138,11 @@ def router_table(
         out["Baseline"][algo] = homogeneous.serve(routed).mean_e2e()
 
         mixed = ["fp16", algo, algo, algo]
-        for label, policy in (
-            ("w/ Throughput", RoutingPolicy.THROUGHPUT),
-            ("w/ Length", RoutingPolicy.LENGTH),
-            ("w/ Both", RoutingPolicy.BOTH),
+        for label, policy, online in (
+            ("w/ Throughput", RoutingPolicy.THROUGHPUT, False),
+            ("w/ Length", RoutingPolicy.LENGTH, False),
+            ("w/ Both", RoutingPolicy.BOTH, False),
+            ("w/ Both (online)", RoutingPolicy.BOTH, True),
         ):
             router = Router(
                 _instances(mixed),
@@ -143,7 +151,7 @@ def router_table(
                 throughput_fn=throughput_fn,
                 length_fn=length_fn,
             )
-            out[label][algo] = router.serve(routed).mean_e2e()
+            out[label][algo] = router.serve(routed, online=online).mean_e2e()
     return out
 
 

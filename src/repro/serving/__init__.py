@@ -1,6 +1,8 @@
-"""Discrete-event serving simulation: batching, scheduling, routing."""
+"""Event-driven serving simulation: batching, scheduling, routing, tracing."""
 
-from repro.serving.metrics import LatencySummary, cdf, tbot
+from repro.serving.cluster import Cluster, InstanceView
+from repro.serving.events import EventLoop
+from repro.serving.metrics import LatencySummary, StepMetrics, cdf, tbot
 from repro.serving.request import ServingRequest
 from repro.serving.router import (
     RoutedRequest,
@@ -8,10 +10,28 @@ from repro.serving.router import (
     RouterResult,
     RoutingPolicy,
 )
+from repro.serving.scheduler import (
+    FCFSPolicy,
+    PriorityPolicy,
+    SchedulerPolicy,
+    ShortestFirstPolicy,
+    make_policy,
+)
 from repro.serving.simulator import ServerInstance, SimulationResult
+from repro.serving.trace import (
+    EventType,
+    Trace,
+    TraceEvent,
+    queue_delays,
+    request_latencies,
+)
 
 __all__ = [
+    "Cluster",
+    "InstanceView",
+    "EventLoop",
     "LatencySummary",
+    "StepMetrics",
     "cdf",
     "tbot",
     "ServingRequest",
@@ -19,6 +39,16 @@ __all__ = [
     "Router",
     "RouterResult",
     "RoutingPolicy",
+    "FCFSPolicy",
+    "PriorityPolicy",
+    "SchedulerPolicy",
+    "ShortestFirstPolicy",
+    "make_policy",
     "ServerInstance",
     "SimulationResult",
+    "EventType",
+    "Trace",
+    "TraceEvent",
+    "queue_delays",
+    "request_latencies",
 ]

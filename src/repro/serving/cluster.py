@@ -1,0 +1,135 @@
+"""A fleet of serving instances on one shared clock.
+
+``Cluster`` attaches N :class:`~repro.serving.simulator.ServerInstance`
+objects to a single :class:`~repro.serving.events.EventLoop`, so their
+timelines interleave exactly as they would on real hardware.  Two entry
+points:
+
+- :meth:`run` — offline assignment: per-instance request streams are
+  decided up front (the seed path; Table 8 parity).
+- :meth:`run_online` — online routing: each request is dispatched at
+  its arrival instant by a caller-supplied ``pick`` function that sees
+  **live** instance state (:class:`InstanceView`: queue depth, token
+  occupancy, running batch) instead of a decayed offline load model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.events import EventLoop
+from repro.serving.request import ServingRequest
+from repro.serving.simulator import ServerInstance, SimulationResult
+from repro.serving.trace import Trace
+
+
+@dataclass(frozen=True)
+class InstanceView:
+    """Live snapshot of one instance, as seen by an online router."""
+
+    index: int
+    name: str
+    queue_depth: int
+    running: int
+    used_tokens: int
+    waiting_tokens: int
+    token_budget: int
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the KV-token budget currently (or soon) held."""
+        return (self.used_tokens + self.waiting_tokens) / max(1, self.token_budget)
+
+
+#: (request, live views, now) -> chosen instance index
+PickFn = Callable[[object, Sequence[InstanceView], float], int]
+#: (request, chosen index, now) -> concrete ServingRequest for that instance
+MakeFn = Callable[[object, int, float], ServingRequest]
+
+
+class Cluster:
+    """N serving instances sharing one discrete-event clock."""
+
+    def __init__(
+        self,
+        instances: Sequence[ServerInstance],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not instances:
+            raise ValueError("a cluster needs at least one instance")
+        self.instances = list(instances)
+        names = list(names) if names else [f"inst{i}" for i in range(len(instances))]
+        if len(names) != len(self.instances):
+            raise ValueError("one name per instance required")
+        for inst, name in zip(self.instances, names):
+            inst.name = name
+        self.names = names
+
+    def _attach_all(self, trace: Optional[Trace]) -> EventLoop:
+        loop = EventLoop()
+        for inst in self.instances:
+            inst.attach(loop, trace)
+        return loop
+
+    def view(self, index: int) -> InstanceView:
+        """Live snapshot of instance ``index``."""
+        inst = self.instances[index]
+        return InstanceView(
+            index=index,
+            name=inst.name,
+            queue_depth=inst.queue_depth,
+            running=inst.running_count,
+            used_tokens=inst.used_tokens,
+            waiting_tokens=inst.waiting_tokens,
+            token_budget=inst.token_budget,
+        )
+
+    def views(self) -> List[InstanceView]:
+        """Live snapshots of every instance."""
+        return [self.view(i) for i in range(len(self.instances))]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        streams: Sequence[Sequence[ServingRequest]],
+        trace: Optional[Trace] = None,
+    ) -> List[SimulationResult]:
+        """Serve pre-assigned per-instance streams on the shared clock."""
+        if len(streams) != len(self.instances):
+            raise ValueError("one request stream per instance required")
+        loop = self._attach_all(trace)
+        for inst, stream in zip(self.instances, streams):
+            for req in sorted(stream, key=lambda r: r.arrival):
+                inst.submit(req)
+        loop.run()
+        return [inst.result() for inst in self.instances]
+
+    def run_online(
+        self,
+        requests: Sequence[object],
+        pick: PickFn,
+        make: MakeFn,
+        trace: Optional[Trace] = None,
+    ) -> Tuple[List[SimulationResult], Dict[str, int]]:
+        """Dispatch ``requests`` at their arrival instants.
+
+        ``requests`` only need an ``arrival`` and ``request_id``
+        attribute (e.g. :class:`~repro.serving.router.RoutedRequest`);
+        ``pick`` chooses an instance from live views and ``make`` builds
+        the concrete :class:`ServingRequest` for the chosen instance.
+        Returns per-instance results plus the request -> instance map.
+        """
+        loop = self._attach_all(trace)
+        assignment: Dict[str, int] = {}
+
+        def dispatch(req) -> None:
+            idx = pick(req, self.views(), loop.now)
+            assignment[req.request_id] = idx
+            self.instances[idx].receive(make(req, idx, loop.now))
+
+        for req in sorted(requests, key=lambda r: r.arrival):
+            loop.schedule(req.arrival, partial(dispatch, req))
+        loop.run()
+        return [inst.result() for inst in self.instances], assignment

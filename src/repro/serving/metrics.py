@@ -1,22 +1,34 @@
-"""Latency aggregation helpers (TTFT, TBOT, E2E, CDFs)."""
+"""Latency aggregation helpers (TTFT, TBOT, queue delay, E2E, CDFs)
+plus step-level aggregates over a serving :class:`~repro.serving.trace.Trace`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.serving.trace import EventType, Trace
 
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Summary statistics of a latency sample."""
+    """Summary statistics of a latency sample.
+
+    ``tbot`` (mean time between output tokens) and ``queue_delay``
+    (mean seconds queued before admission) are filled in when the
+    summary is built from served requests (:meth:`from_requests`);
+    plain samples (:meth:`from_samples`) leave them ``None``.
+    """
 
     mean: float
     p50: float
     p90: float
     p99: float
     max: float
+    tbot: Optional[float] = None
+    queue_delay: Optional[float] = None
 
     @staticmethod
     def from_samples(samples: Sequence[float]) -> "LatencySummary":
@@ -32,15 +44,123 @@ class LatencySummary:
             max=float(arr.max()),
         )
 
+    @staticmethod
+    def from_requests(requests: Sequence) -> "LatencySummary":
+        """Build from served :class:`~repro.serving.request.ServingRequest`
+        records, including mean TBOT and queue delay."""
+        served = [r for r in requests if not getattr(r, "rejected", False)]
+        if not served:
+            raise ValueError("no served requests to summarize")
+        base = LatencySummary.from_samples([r.e2e_latency for r in served])
+        tbots = [r.tbot for r in served if r.generated > 1]
+        return LatencySummary(
+            mean=base.mean,
+            p50=base.p50,
+            p90=base.p90,
+            p99=base.p99,
+            max=base.max,
+            tbot=float(np.mean(tbots)) if tbots else 0.0,
+            queue_delay=float(np.mean([r.queue_delay for r in served])),
+        )
+
     def as_dict(self) -> Dict[str, float]:
-        """Plain-dict view."""
-        return {
+        """Plain-dict view (request-level fields only when present)."""
+        out = {
             "mean": self.mean,
             "p50": self.p50,
             "p90": self.p90,
             "p99": self.p99,
             "max": self.max,
         }
+        if self.tbot is not None:
+            out["tbot"] = self.tbot
+        if self.queue_delay is not None:
+            out["queue_delay"] = self.queue_delay
+        return out
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """Aggregates of a step-level serving trace.
+
+    Occupancy and budget utilization are weighted by step duration, so
+    long steps count for what they actually held the GPU for.
+    """
+
+    decode_steps: int
+    admits: int
+    preempts: int
+    rejects: int
+    finishes: int
+    decode_seconds: float
+    mean_batch_occupancy: float
+    peak_batch_occupancy: int
+    mean_budget_utilization: float
+    peak_budget_utilization: float
+    mean_queue_delay: float
+    mean_tbot: float
+
+    @staticmethod
+    def from_trace(trace: Trace) -> "StepMetrics":
+        """Fold a trace into scheduler-level summaries."""
+        steps = trace.of_kind(EventType.DECODE_STEP)
+        secs = np.array([e.data["seconds"] for e in steps], dtype=float)
+        batches = np.array([e.data["batch"] for e in steps], dtype=float)
+        utils = np.array(
+            [
+                e.data["used_tokens"] / max(1, e.data["token_budget"])
+                for e in steps
+            ],
+            dtype=float,
+        )
+        wall = float(secs.sum())
+        w = secs / wall if wall > 0 else None
+        finishes = trace.of_kind(EventType.FINISH)
+        tbots = [
+            (e.time - e.data["first_token"]) / (e.data["generated"] - 1)
+            for e in finishes
+            if e.data["generated"] > 1
+        ]
+        admits = trace.of_kind(EventType.ADMIT)
+        delays = [e.time - e.data["arrival"] for e in admits]
+        return StepMetrics(
+            decode_steps=len(steps),
+            admits=len(admits),
+            preempts=len(trace.of_kind(EventType.PREEMPT)),
+            rejects=len(trace.of_kind(EventType.REJECT)),
+            finishes=len(finishes),
+            decode_seconds=wall,
+            mean_batch_occupancy=float((batches * w).sum()) if w is not None else 0.0,
+            peak_batch_occupancy=int(batches.max()) if len(steps) else 0,
+            mean_budget_utilization=float((utils * w).sum()) if w is not None else 0.0,
+            peak_budget_utilization=float(utils.max()) if len(steps) else 0.0,
+            mean_queue_delay=float(np.mean(delays)) if delays else 0.0,
+            mean_tbot=float(np.mean(tbots)) if tbots else 0.0,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view."""
+        return {
+            "decode_steps": self.decode_steps,
+            "admits": self.admits,
+            "preempts": self.preempts,
+            "rejects": self.rejects,
+            "finishes": self.finishes,
+            "decode_seconds": self.decode_seconds,
+            "mean_batch_occupancy": self.mean_batch_occupancy,
+            "peak_batch_occupancy": self.peak_batch_occupancy,
+            "mean_budget_utilization": self.mean_budget_utilization,
+            "peak_budget_utilization": self.peak_budget_utilization,
+            "mean_queue_delay": self.mean_queue_delay,
+            "mean_tbot": self.mean_tbot,
+        }
+
+    def render(self) -> str:
+        """Multi-line human-readable summary."""
+        return "\n".join(
+            f"{k:24s} {v:.4f}" if isinstance(v, float) else f"{k:24s} {v}"
+            for k, v in self.as_dict().items()
+        )
 
 
 def cdf(samples: Sequence[float], n_points: int = 200) -> Tuple[np.ndarray, np.ndarray]:

@@ -14,18 +14,26 @@ class ServingRequest:
     this request *under the serving instance's compression algorithm* —
     supplied by the caller (functional-model generation or a length
     model), since compression changes response lengths (Section 4.3).
+
+    ``priority`` and ``predicted_len`` feed the scheduler policies
+    (:mod:`repro.serving.scheduler`); ``preemptions`` and ``rejected``
+    are filled in by the simulator alongside the timestamps.
     """
 
     request_id: str
     arrival: float
     prompt_len: int
     response_len: int
+    priority: int = 0
+    predicted_len: Optional[float] = None
 
     # filled in by the simulator
     prefill_start: Optional[float] = None
     first_token: Optional[float] = None
     finish: Optional[float] = None
     generated: int = 0
+    preemptions: int = 0
+    rejected: bool = False
 
     @property
     def ttft(self) -> float:
@@ -40,6 +48,22 @@ class ServingRequest:
         if self.finish is None:
             raise RuntimeError(f"request {self.request_id} not yet served")
         return self.finish - self.arrival
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds spent queued before (the last) admission."""
+        if self.prefill_start is None:
+            raise RuntimeError(f"request {self.request_id} not yet served")
+        return self.prefill_start - self.arrival
+
+    @property
+    def tbot(self) -> float:
+        """Time between output tokens, from the served timestamps."""
+        if self.finish is None or self.first_token is None:
+            raise RuntimeError(f"request {self.request_id} not yet served")
+        if self.generated <= 1:
+            return 0.0
+        return (self.finish - self.first_token) / (self.generated - 1)
 
     @property
     def done(self) -> bool:

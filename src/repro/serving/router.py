@@ -14,21 +14,30 @@ routing policies:
   end-to-end latency (prefill + predicted length / predicted decode
   throughput + queued work).
 
-The router makes assignment decisions from predictor estimates and a
-lightweight live load model, then each instance's assigned stream is
-served by :class:`repro.serving.simulator.ServerInstance`.
+Two routing modes share these policies:
+
+- **offline** (:meth:`Router.serve`, the seed path and Table 8 parity
+  option): assignments are made up front from predictor estimates and a
+  decayed load model, then each per-instance stream is replayed.
+- **online** (:meth:`Router.serve_online`): the whole fleet runs as a
+  :class:`~repro.serving.cluster.Cluster` on one shared clock, and each
+  request is dispatched at its arrival instant against *live* queue
+  depth and KV-token occupancy.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.serving.cluster import Cluster, InstanceView
+from repro.serving.metrics import LatencySummary
 from repro.serving.request import ServingRequest
 from repro.serving.simulator import ServerInstance, SimulationResult
+from repro.serving.trace import Trace
 
 #: (algo_name, batch, kv_len) -> predicted decode tokens/second
 ThroughputFn = Callable[[str, int, int], float]
@@ -62,15 +71,25 @@ class RouterResult:
 
     results: List[SimulationResult]
     assignment: Dict[str, int]
+    mode: str = "offline"
+
+    def all_requests(self) -> List[ServingRequest]:
+        """Every request record across the fleet."""
+        return [r for res in self.results for r in res.requests]
 
     def mean_e2e(self) -> float:
-        """Average end-to-end latency over all requests."""
-        lats = np.concatenate([r.e2e for r in self.results if r.requests])
-        return float(lats.mean())
+        """Average end-to-end latency over all served requests."""
+        return float(self.all_e2e().mean())
 
     def all_e2e(self) -> np.ndarray:
         """All end-to-end latencies."""
-        return np.concatenate([r.e2e for r in self.results if r.requests])
+        return np.concatenate(
+            [r.e2e for r in self.results if len(r.completed)]
+        )
+
+    def latency_summary(self) -> LatencySummary:
+        """Fleet-wide summary including mean TBOT and queue delay."""
+        return LatencySummary.from_requests(self.all_requests())
 
 
 class Router:
@@ -99,6 +118,15 @@ class Router:
         self.length_fn = length_fn
 
     # ------------------------------------------------------------------
+    def _drain_rates(self) -> np.ndarray:
+        """Rough decode drain rate per instance (tokens/s)."""
+        return np.array(
+            [
+                inst.cost_model.decode_throughput(8, 1024, inst.comp) or 1.0
+                for inst in self.instances
+            ]
+        )
+
     def _estimate(
         self,
         req: RoutedRequest,
@@ -138,21 +166,50 @@ class Router:
             return int(np.argmin([e[1] for e in est]))
         return int(np.argmin([e[2] for e in est]))
 
+    def _pick_online(
+        self, req: RoutedRequest, views: Sequence[InstanceView], drain: np.ndarray
+    ) -> int:
+        """Choose an instance from *live* queue depth and occupancy."""
+        load_tokens = np.array(
+            [v.used_tokens + v.waiting_tokens for v in views], dtype=float
+        )
+        # live backlog converted to seconds via each instance's drain rate
+        load_seconds = load_tokens / np.maximum(drain, 1e-6)
+        return self._pick(req, load_tokens, load_seconds)
+
+    def _make_request(self, req: RoutedRequest, idx: int) -> ServingRequest:
+        algo = self.algos[idx]
+        true_len = req.lengths_by_algo[algo]
+        pred_len = self.length_fn(req, algo) if self.length_fn else None
+        return ServingRequest(
+            request_id=req.request_id,
+            arrival=req.arrival,
+            prompt_len=req.prompt_len,
+            response_len=max(1, true_len),
+            predicted_len=pred_len,
+        )
+
     # ------------------------------------------------------------------
-    def serve(self, requests: Sequence[RoutedRequest]) -> RouterResult:
-        """Assign and simulate ``requests``; returns merged latencies."""
+    def serve(
+        self,
+        requests: Sequence[RoutedRequest],
+        online: bool = False,
+        trace: Optional[Trace] = None,
+    ) -> RouterResult:
+        """Assign and simulate ``requests``; returns merged latencies.
+
+        ``online=False`` (default) keeps the seed's offline assignment;
+        ``online=True`` delegates to :meth:`serve_online`.
+        """
+        if online:
+            return self.serve_online(requests, trace=trace)
         n = len(self.instances)
         load_tokens = np.zeros(n)
         load_seconds = np.zeros(n)
         streams: List[List[ServingRequest]] = [[] for _ in range(n)]
         assignment: Dict[str, int] = {}
         # rough drain rate for the live-load decay (tokens/s per instance)
-        drain = np.array(
-            [
-                inst.cost_model.decode_throughput(8, 1024, inst.comp) or 1.0
-                for inst in self.instances
-            ]
-        )
+        drain = self._drain_rates()
         last_arrival = 0.0
         for req in sorted(requests, key=lambda r: r.arrival):
             dt = req.arrival - last_arrival
@@ -162,21 +219,28 @@ class Router:
             idx = self._pick(req, load_tokens, load_seconds)
             algo = self.algos[idx]
             true_len = req.lengths_by_algo[algo]
-            streams[idx].append(
-                ServingRequest(
-                    request_id=req.request_id,
-                    arrival=req.arrival,
-                    prompt_len=req.prompt_len,
-                    response_len=max(1, true_len),
-                )
-            )
+            streams[idx].append(self._make_request(req, idx))
             assignment[req.request_id] = idx
             load_tokens[idx] += req.prompt_len + true_len
-            inst = self.instances[idx]
             per_tok = 1.0 / max(drain[idx], 1e-6)
             load_seconds[idx] += true_len * per_tok * 4
-        results = [
-            inst.run(stream) if stream else SimulationResult(requests=[])
-            for inst, stream in zip(self.instances, streams)
-        ]
-        return RouterResult(results=results, assignment=assignment)
+        cluster = Cluster(self.instances)
+        results = cluster.run(streams, trace=trace)
+        return RouterResult(results=results, assignment=assignment, mode="offline")
+
+    def serve_online(
+        self,
+        requests: Sequence[RoutedRequest],
+        trace: Optional[Trace] = None,
+    ) -> RouterResult:
+        """Route each request at its arrival instant on a shared-clock
+        cluster, using live queue depth and KV-token occupancy."""
+        drain = self._drain_rates()
+        cluster = Cluster(self.instances)
+        results, assignment = cluster.run_online(
+            requests,
+            pick=lambda req, views, now: self._pick_online(req, views, drain),
+            make=lambda req, idx, now: self._make_request(req, idx),
+            trace=trace,
+        )
+        return RouterResult(results=results, assignment=assignment, mode="online")

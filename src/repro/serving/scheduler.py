@@ -1,0 +1,112 @@
+"""Pluggable scheduling policies for the event-driven serving core.
+
+A :class:`SchedulerPolicy` answers two questions for a
+:class:`~repro.serving.simulator.ServerInstance`:
+
+- ``select(waiting, clock)`` — which arrived request to consider
+  admitting next (head-of-line: if the chosen request does not fit the
+  KV-token budget, admission stalls until capacity frees, preserving
+  the policy's ordering guarantees).
+- ``victim(running)`` — which running request to preempt when the
+  dynamic admission mode exhausts the KV-token budget mid-decode.
+  Preempted requests are requeued and recomputed (vLLM-style
+  recompute preemption), so the victim choice trades wasted work
+  against the policy's notion of priority.
+
+Policies are deliberately tiny and stateless so routers, clusters and
+experiments can share instances freely.  ``make_policy`` resolves the
+string names used by the CLI and ``CompressedGenerationPipeline``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.serving.request import ServingRequest
+
+
+class SchedulerPolicy(abc.ABC):
+    """Order of admission and choice of preemption victim."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select(self, waiting: List[ServingRequest], clock: float) -> int:
+        """Index (into ``waiting``) of the next request to admit."""
+
+    def victim(self, running: List[ServingRequest]) -> int:
+        """Index (into ``running``) of the request to preempt.
+
+        Default: the most recently admitted request — the oldest keeps
+        running, which guarantees forward progress.
+        """
+        return len(running) - 1
+
+
+class FCFSPolicy(SchedulerPolicy):
+    """First-come-first-served: strict arrival order (seed behaviour)."""
+
+    name = "fcfs"
+
+    def select(self, waiting: List[ServingRequest], clock: float) -> int:
+        return min(range(len(waiting)), key=lambda i: (waiting[i].arrival, i))
+
+
+class ShortestFirstPolicy(SchedulerPolicy):
+    """Shortest-predicted-first: admit the request expected to finish
+    soonest (uses ``predicted_len`` when a length predictor supplied
+    one, else the true ``response_len``); preempt the longest-remaining
+    request first."""
+
+    name = "shortest"
+
+    @staticmethod
+    def _expected(req: ServingRequest) -> float:
+        if req.predicted_len is not None:
+            return float(req.predicted_len)
+        return float(req.response_len)
+
+    def select(self, waiting: List[ServingRequest], clock: float) -> int:
+        return min(
+            range(len(waiting)),
+            key=lambda i: (self._expected(waiting[i]), waiting[i].arrival, i),
+        )
+
+    def victim(self, running: List[ServingRequest]) -> int:
+        def remaining(r: ServingRequest) -> float:
+            return self._expected(r) - r.generated
+
+        return max(range(len(running)), key=lambda i: (remaining(running[i]), i))
+
+
+class PriorityPolicy(SchedulerPolicy):
+    """Highest ``ServingRequest.priority`` first (FCFS within a tier);
+    preempt the lowest-priority, most recently admitted request."""
+
+    name = "priority"
+
+    def select(self, waiting: List[ServingRequest], clock: float) -> int:
+        return min(
+            range(len(waiting)),
+            key=lambda i: (-waiting[i].priority, waiting[i].arrival, i),
+        )
+
+    def victim(self, running: List[ServingRequest]) -> int:
+        return min(range(len(running)), key=lambda i: (running[i].priority, -i))
+
+
+_POLICIES = {
+    cls.name: cls for cls in (FCFSPolicy, ShortestFirstPolicy, PriorityPolicy)
+}
+
+
+def make_policy(name: str) -> SchedulerPolicy:
+    """Instantiate a scheduler policy by name (``fcfs``, ``shortest``,
+    ``priority``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None

@@ -1,28 +1,51 @@
-"""Discrete-event simulator of one serving instance.
+"""Event-driven simulator of serving instances.
 
-Implements iteration-level (continuous) batching as in LMDeploy/vLLM:
-each loop iteration either admits a waiting request (running its prefill)
-or executes one decode step for the whole running batch, with step times
-priced by the analytical :class:`repro.engines.base.ServingCostModel`.
-Admission is gated by a KV-token budget derived from the memory model,
-so compression algorithms with smaller caches admit more concurrency —
-the systems-level benefit KV compression is meant to buy.
+One :class:`ServerInstance` is a state machine driven by a shared
+:class:`~repro.serving.events.EventLoop`: request arrivals and engine
+wake-ups are timed events, and each wake-up performs one unit of work —
+admit-and-prefill one request, or run decode steps for the running
+batch.  Both batching disciplines run on the same loop:
 
-Engines without continuous batching (eager TRL) fall back to static
-batching: a batch is formed from waiting requests, prefilled together
-and decoded until *all* members finish (stragglers hold the batch).
+- *continuous* (iteration-level, LMDeploy/vLLM-style): requests join
+  and leave the batch between decode steps; each step is priced for the
+  batch's **current** membership and KV lengths, so a request finishing
+  mid-block immediately re-prices its peers' steps.
+- *static* (eager TRL): a batch is formed, prefilled together, and
+  decoded until all members finish; steps stay priced at the formed
+  batch size (stragglers hold their padded slots).
+
+Admission is gated by a KV-token budget derived from the memory model.
+Two admission modes exist: ``"reserve"`` (seed behaviour — a request's
+peak KV footprint is reserved at admission, so the budget can never be
+exhausted mid-decode) and ``"dynamic"`` (only the live footprint
+counts; decode growth can exhaust the budget, triggering vLLM-style
+recompute **preemption** of a policy-chosen victim).  Requests whose
+peak footprint exceeds the budget outright are *rejected* with a
+recorded failure instead of stalling the clock.
+
+Admission order and preemption victims come from a pluggable
+:class:`~repro.serving.scheduler.SchedulerPolicy` (FCFS by default).
+Every decision can be recorded in a :class:`~repro.serving.trace.Trace`
+for step-level observability (``python -m repro.cli trace``).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.compression.base import CompressionCostSpec
 from repro.engines.base import ServingCostModel
+from repro.serving.events import EventLoop
 from repro.serving.request import ServingRequest
+from repro.serving.scheduler import FCFSPolicy, SchedulerPolicy
+from repro.serving.trace import EventType, Trace
+
+ADMISSION_MODES = ("reserve", "dynamic")
 
 
 @dataclass
@@ -30,13 +53,24 @@ class SimulationResult:
     """Outcome of serving a request stream on one instance."""
 
     requests: List[ServingRequest]
+    trace: Optional[Trace] = None
+
+    @property
+    def completed(self) -> List[ServingRequest]:
+        """Requests that were actually served."""
+        return [r for r in self.requests if not r.rejected]
+
+    @property
+    def rejected(self) -> List[ServingRequest]:
+        """Requests dropped because they could never fit the budget."""
+        return [r for r in self.requests if r.rejected]
 
     def _collect(self, attr: str) -> np.ndarray:
-        return np.array([getattr(r, attr) for r in self.requests])
+        return np.array([getattr(r, attr) for r in self.completed])
 
     @property
     def e2e(self) -> np.ndarray:
-        """Per-request end-to-end latencies."""
+        """Per-request end-to-end latencies (served requests only)."""
         return self._collect("e2e_latency")
 
     @property
@@ -46,11 +80,13 @@ class SimulationResult:
 
     def mean_e2e(self) -> float:
         """Average end-to-end latency (Table 8's headline metric)."""
-        return float(self.e2e.mean())
+        lats = self.e2e
+        return float(lats.mean()) if lats.size else 0.0
 
     def percentile_e2e(self, q: float) -> float:
         """E2E latency percentile (e.g. 99 for tail latency)."""
-        return float(np.percentile(self.e2e, q))
+        lats = self.e2e
+        return float(np.percentile(lats, q)) if lats.size else 0.0
 
 
 class ServerInstance:
@@ -62,14 +98,28 @@ class ServerInstance:
         comp: CompressionCostSpec,
         max_batch: int = 64,
         decode_block: int = 8,
+        scheduler: Optional[SchedulerPolicy] = None,
+        admission: str = "reserve",
+        name: str = "",
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_MODES}, got {admission!r}"
+            )
         self.cost_model = cost_model
         self.comp = comp
         self.max_batch = max_batch
         self.decode_block = decode_block
+        self.scheduler = scheduler or FCFSPolicy()
+        self.admission = admission
+        self.name = name
         self.token_budget = self._token_budget()
+        self._step_cache: Dict[Tuple[int, int], float] = {}
+        self._loop: Optional[EventLoop] = None
+        self._trace: Optional[Trace] = None
+        self._init_state()
 
     def _token_budget(self) -> int:
         """KV tokens that fit alongside weights and workspace."""
@@ -91,117 +141,333 @@ class ServerInstance:
             total = min(total, self.comp.sparse_budget + req.response_len)
         return total
 
-    # ------------------------------------------------------------------
-    def run(self, requests: Sequence[ServingRequest]) -> SimulationResult:
-        """Serve ``requests`` (sorted by arrival); returns latencies."""
-        reqs = sorted(requests, key=lambda r: r.arrival)
-        if self.cost_model.engine.supports_continuous_batching:
-            self._run_continuous(reqs)
-        else:
-            self._run_static(reqs)
-        return SimulationResult(requests=list(reqs))
+    def _live_tokens(self, req: ServingRequest) -> int:
+        """KV tokens a request occupies right now (dynamic admission)."""
+        return min(req.prompt_len + max(1, req.generated), self._request_tokens(req))
 
     # ------------------------------------------------------------------
+    # event-loop attachment
+    # ------------------------------------------------------------------
+    def _init_state(self) -> None:
+        self._waiting: List[ServingRequest] = []
+        self._running: List[ServingRequest] = []
+        self._future: List[float] = []  # arrival times not yet reached
+        self._used = 0
+        self._wake_at: Optional[float] = None
+        self._submitted: List[ServingRequest] = []
+        # static-batching state
+        self._sbatch: List[ServingRequest] = []
+        self._sbatch_size = 0
+        self._sstep = 0
+        self._smax_prompt = 0
+
+    def attach(self, loop: EventLoop, trace: Optional[Trace] = None) -> None:
+        """Bind this instance to a (possibly shared) event loop."""
+        self._loop = loop
+        self._trace = trace
+        self._init_state()
+
+    def submit(self, req: ServingRequest) -> None:
+        """Schedule a request's arrival on the attached loop."""
+        assert self._loop is not None, "attach() before submit()"
+        self._submitted.append(req)
+        heapq.heappush(self._future, req.arrival)
+        self._loop.schedule(req.arrival, partial(self._on_arrival, req))
+
+    def receive(self, req: ServingRequest) -> None:
+        """Accept a request *now* (online routing path)."""
+        assert self._loop is not None, "attach() before receive()"
+        self._submitted.append(req)
+        self._waiting.append(req)
+        self._ensure_wake()
+
+    def result(self) -> SimulationResult:
+        """Collect the outcome after the loop has drained."""
+        reqs = sorted(self._submitted, key=lambda r: r.arrival)
+        return SimulationResult(requests=reqs, trace=self._trace)
+
+    # live state (read by Cluster / online Router)
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting (arrived, not yet admitted)."""
+        return len(self._waiting)
+
+    @property
+    def running_count(self) -> int:
+        """Requests currently decoding."""
+        return len(self._running) + len(self._sbatch)
+
+    @property
+    def used_tokens(self) -> int:
+        """Live KV-token occupancy."""
+        if self.admission == "dynamic":
+            live = sum(self._live_tokens(r) for r in self._running)
+        else:
+            live = self._used
+        return live + self._static_used()
+
+    @property
+    def waiting_tokens(self) -> int:
+        """Peak KV tokens of everything still queued."""
+        return sum(self._request_tokens(r) for r in self._waiting)
+
+    def _static_used(self) -> int:
+        return sum(self._request_tokens(r) for r in self._sbatch)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, requests: Sequence[ServingRequest], trace: Optional[Trace] = None
+    ) -> SimulationResult:
+        """Serve ``requests`` on a private event loop; returns latencies."""
+        loop = EventLoop()
+        self.attach(loop, trace)
+        for r in sorted(requests, key=lambda r: r.arrival):
+            self.submit(r)
+        loop.run()
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, req: ServingRequest) -> None:
+        if self._future and self._future[0] <= req.arrival:
+            heapq.heappop(self._future)
+        self._waiting.append(req)
+        self._ensure_wake()
+
+    def _ensure_wake(self) -> None:
+        if self._wake_at is None:
+            self._schedule_wake(self._loop.now)
+
+    def _schedule_wake(self, at: float) -> None:
+        self._wake_at = at
+        self._loop.schedule(at, self._wake)
+
+    def _record(self, time: float, kind: EventType, rid: str = "", **data) -> None:
+        if self._trace is not None:
+            self._trace.record(time, kind, rid, self.name, **data)
+
+    def _wake(self) -> None:
+        self._wake_at = None
+        now = self._loop.now
+        self._reject_impossible(now)
+        if self.cost_model.engine.supports_continuous_batching:
+            self._wake_continuous(now)
+        else:
+            self._wake_static(now)
+
+    def _reject_impossible(self, now: float) -> None:
+        """Drop arrived requests whose peak footprint can never fit."""
+        for req in [r for r in self._waiting if r.arrival <= now]:
+            need = self._request_tokens(req)
+            if need > self.token_budget:
+                self._waiting.remove(req)
+                req.rejected = True
+                self._record(
+                    now, EventType.REJECT, req.request_id,
+                    need=need, token_budget=self.token_budget,
+                )
+
+    def _reject(self, now: float, req: ServingRequest, need: int) -> None:
+        self._waiting.remove(req)
+        req.rejected = True
+        self._record(
+            now, EventType.REJECT, req.request_id,
+            need=need, token_budget=self.token_budget,
+        )
+
+    # ------------------------------------------------------------------
+    # continuous (iteration-level) batching
+    # ------------------------------------------------------------------
+    def _wake_continuous(self, now: float) -> None:
+        if self._try_admit(now):
+            return
+        if self._running:
+            self._decode(now)
+        # else: idle — the next arrival event re-wakes us
+
+    def _admit_need(self, req: ServingRequest) -> int:
+        if self.admission == "dynamic":
+            return self._live_tokens(req)
+        return self._request_tokens(req)
+
+    def _try_admit(self, now: float) -> bool:
+        """Admit (and prefill) one request if the policy's pick fits."""
+        arrived = [r for r in self._waiting if r.arrival <= now]
+        if not arrived or len(self._running) >= self.max_batch:
+            return False
+        req = arrived[self.scheduler.select(arrived, now)]
+        need = self._admit_need(req)
+        if self.used_tokens + need > self.token_budget:
+            return False  # head-of-line stall until a finish frees budget
+        cost = self.cost_model.prefill(1, req.prompt_len, self.comp)
+        if cost.oom:
+            self._reject(now, req, need)
+            self._schedule_wake(now)
+            return True
+        self._waiting.remove(req)
+        req.prefill_start = now
+        self._record(now, EventType.ADMIT, req.request_id, arrival=req.arrival)
+        self._record(
+            now, EventType.PREFILL, req.request_id,
+            seconds=cost.seconds, prompt=req.prompt_len,
+        )
+        end = now + cost.seconds
+        req.first_token = end
+        req.generated = 1 if req.response_len > 0 else 0
+        if req.done:
+            self._finish(req, end)
+        else:
+            self._running.append(req)
+            if self.admission == "reserve":
+                self._used += need
+        self._schedule_wake(end)
+        return True
+
+    def _finish(self, req: ServingRequest, at: float) -> None:
+        req.finish = at
+        self._record(
+            at, EventType.FINISH, req.request_id,
+            arrival=req.arrival,
+            first_token=req.first_token,
+            generated=req.generated,
+        )
+
     def _decode_kv_len(self, running: List[ServingRequest]) -> int:
         lens = [r.prompt_len + r.generated for r in running]
         return int(np.mean(lens)) if lens else 0
 
-    def _run_continuous(self, reqs: List[ServingRequest]) -> None:
-        clock = 0.0
-        waiting = list(reqs)
-        running: List[ServingRequest] = []
-        used_tokens = 0
+    def _step_seconds(self, batch: int, kv: int) -> float:
+        key = (batch, kv)
+        cached = self._step_cache.get(key)
+        if cached is None:
+            cached = self.cost_model.decode_step(batch, kv, self.comp).seconds
+            self._step_cache[key] = cached
+        return cached
 
-        while waiting or running:
-            # admit every arrived request that fits
-            admitted = False
-            while waiting and len(running) < self.max_batch:
-                nxt = waiting[0]
-                if nxt.arrival > clock and not running:
-                    clock = nxt.arrival  # idle until next arrival
-                if nxt.arrival > clock:
-                    break
-                need = self._request_tokens(nxt)
-                if used_tokens + need > self.token_budget:
-                    break
-                waiting.pop(0)
-                nxt.prefill_start = clock
-                cost = self.cost_model.prefill(1, nxt.prompt_len, self.comp)
-                clock += cost.seconds
-                nxt.first_token = clock
-                nxt.generated = 1
-                used_tokens += need
-                running.append(nxt)
-                admitted = True
-                if nxt.done:
-                    nxt.finish = clock
-                    running.remove(nxt)
-                    used_tokens -= need
-            if admitted:
-                continue
-            if not running:
-                continue  # loop back; clock jumps to next arrival
+    def _decode(self, now: float) -> None:
+        """Run up to ``decode_block`` steps; stop early whenever batch
+        membership changes (finish/preempt) so every step is priced for
+        the batch actually executing it, or when a new arrival lands."""
+        clock = now
+        for _ in range(self.decode_block):
+            batch = len(self._running)
+            kv = self._decode_kv_len(self._running)
+            dt = self._step_seconds(batch, kv)
+            clock += dt
+            for r in self._running:
+                r.generated += 1
+            self._record(
+                clock, EventType.DECODE_STEP,
+                batch=batch, kv=kv, seconds=dt,
+                used_tokens=self.used_tokens, token_budget=self.token_budget,
+            )
+            changed = False
+            for r in [r for r in self._running if r.done]:
+                self._running.remove(r)
+                if self.admission == "reserve":
+                    self._used -= self._request_tokens(r)
+                self._finish(r, clock)
+                changed = True
+            if self.admission == "dynamic":
+                changed |= self._preempt_if_needed(clock)
+            if changed:
+                break  # membership changed: re-price from the next wake
+            if self._future and self._future[0] <= clock:
+                break  # a new arrival landed mid-block
+        self._schedule_wake(clock)
 
-            # a block of decode steps for the whole running batch
-            kv = self._decode_kv_len(running)
-            step = self.cost_model.decode_step(len(running), kv, self.comp)
-            steps = self.decode_block
-            if waiting and waiting[0].arrival > clock:
-                # don't overshoot the next arrival too far
-                gap = waiting[0].arrival - clock
-                steps = max(1, min(steps, int(gap / max(step.seconds, 1e-9)) + 1))
-            for _ in range(steps):
-                clock += step.seconds
-                for r in running:
-                    r.generated += 1
-                finished = [r for r in running if r.done]
-                for r in finished:
-                    r.finish = clock
-                    running.remove(r)
-                    used_tokens -= self._request_tokens(r)
-                if finished:
-                    break
+    def _preempt_if_needed(self, clock: float) -> bool:
+        """Evict policy-chosen victims until the live footprint fits."""
+        preempted = False
+        while (
+            sum(self._live_tokens(r) for r in self._running) > self.token_budget
+            and len(self._running) > 1
+        ):
+            victim = self._running.pop(self.scheduler.victim(self._running))
+            self._record(
+                clock, EventType.PREEMPT, victim.request_id,
+                generated=victim.generated,
+                used_tokens=self.used_tokens,
+                token_budget=self.token_budget,
+            )
+            victim.generated = 0  # recompute-style: KV dropped, re-prefill
+            victim.preemptions += 1
+            self._waiting.append(victim)
+            preempted = True
+        return preempted
 
-    def _run_static(self, reqs: List[ServingRequest]) -> None:
-        clock = 0.0
-        idx = 0
-        n = len(reqs)
-        while idx < n:
-            batch: List[ServingRequest] = []
-            clock = max(clock, reqs[idx].arrival)
-            used = 0
-            while (
-                idx < n
-                and len(batch) < self.max_batch
-                and reqs[idx].arrival <= clock
-            ):
-                need = self._request_tokens(reqs[idx])
-                if used + need > self.token_budget:
-                    break
-                used += need
-                batch.append(reqs[idx])
-                idx += 1
-            if not batch:
-                clock = reqs[idx].arrival
-                continue
-            max_prompt = max(r.prompt_len for r in batch)
-            cost = self.cost_model.prefill(len(batch), max_prompt, self.comp)
-            for r in batch:
-                r.prefill_start = clock
-            clock += cost.seconds
-            for r in batch:
-                r.first_token = clock
-                r.generated = 1
-            remaining = max(r.response_len for r in batch) - 1
-            for s in range(remaining):
-                kv = max_prompt + 1 + s
-                step = self.cost_model.decode_step(len(batch), kv, self.comp)
-                clock += step.seconds
-                for r in batch:
-                    if not r.done:
-                        r.generated += 1
-                        if r.done:
-                            r.finish = clock
-            for r in batch:
-                if r.finish is None:
-                    r.finish = clock
+    # ------------------------------------------------------------------
+    # static batching (engines without continuous batching)
+    # ------------------------------------------------------------------
+    def _wake_static(self, now: float) -> None:
+        if self._sbatch:
+            self._static_decode(now)
+            return
+        self._form_static_batch(now)
+
+    def _form_static_batch(self, now: float) -> None:
+        arrived = [r for r in self._waiting if r.arrival <= now]
+        if not arrived:
+            return  # idle until the next arrival
+        batch: List[ServingRequest] = []
+        used = 0
+        pool = list(arrived)
+        while pool and len(batch) < self.max_batch:
+            req = pool[self.scheduler.select(pool, now)]
+            need = self._request_tokens(req)
+            if used + need > self.token_budget:
+                break  # head-of-line: keep the policy's ordering
+            pool.remove(req)
+            used += need
+            batch.append(req)
+        if not batch:
+            return
+        max_prompt = max(r.prompt_len for r in batch)
+        cost = self.cost_model.prefill(len(batch), max_prompt, self.comp)
+        if cost.oom:
+            widest = max(batch, key=lambda r: r.prompt_len)
+            self._reject(now, widest, self._request_tokens(widest))
+            self._schedule_wake(now)
+            return
+        end = now + cost.seconds
+        for r in batch:
+            self._waiting.remove(r)
+            r.prefill_start = now
+            self._record(now, EventType.ADMIT, r.request_id, arrival=r.arrival)
+            r.first_token = end
+            r.generated = 1 if r.response_len > 0 else 0
+        self._record(
+            now, EventType.PREFILL,
+            seconds=cost.seconds, batch=len(batch), prompt=max_prompt,
+        )
+        for r in batch:
+            if r.done:
+                self._finish(r, end)
+        self._sbatch = [r for r in batch if not r.done]
+        self._sbatch_size = len(batch)
+        self._sstep = 0
+        self._smax_prompt = max_prompt
+        self._schedule_wake(end)
+
+    def _static_decode(self, now: float) -> None:
+        """One decode step; stragglers hold the batch, so the step stays
+        priced at the *formed* batch size (padded execution)."""
+        kv = self._smax_prompt + 1 + self._sstep
+        dt = self._step_seconds(self._sbatch_size, kv)
+        clock = now + dt
+        for r in self._sbatch:
+            r.generated += 1
+        self._record(
+            clock, EventType.DECODE_STEP,
+            batch=self._sbatch_size, kv=kv, seconds=dt,
+            used_tokens=self.used_tokens, token_budget=self.token_budget,
+            live=len(self._sbatch),
+        )
+        for r in [r for r in self._sbatch if r.done]:
+            self._sbatch.remove(r)
+            self._finish(r, clock)
+        self._sstep += 1
+        if not self._sbatch:
+            self._sbatch_size = 0
+        self._schedule_wake(clock)

@@ -1,0 +1,127 @@
+"""Step-level trace of a serving simulation.
+
+Every scheduling decision the event-driven simulator makes can be
+recorded as a typed :class:`TraceEvent`:
+
+- ``ADMIT``        — a request left the queue (data: ``arrival``).
+- ``PREFILL``      — its prompt pass ran (data: ``seconds``).
+- ``DECODE_STEP``  — one decode iteration for the whole batch
+  (data: ``batch``, ``kv``, ``seconds``, ``used_tokens``,
+  ``token_budget``).
+- ``PREEMPT``      — a request was evicted mid-decode to reclaim KV
+  budget and requeued for recompute.
+- ``FINISH``       — a request completed (data: ``arrival``,
+  ``first_token``, ``generated``).
+- ``REJECT``       — a request could never fit and was dropped
+  (data: ``need``, ``token_budget``).
+
+:func:`request_latencies` folds a trace back into per-request E2E
+latencies; they match ``SimulationResult.e2e`` exactly, which is the
+invariant the trace tests pin.  ``repro.serving.metrics.StepMetrics``
+aggregates a trace into queue-delay / TBOT / occupancy / budget
+summaries, and ``python -m repro.cli trace`` dumps a run's timeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class EventType(str, enum.Enum):
+    """Kinds of scheduling events the simulator emits."""
+
+    ADMIT = "ADMIT"
+    PREFILL = "PREFILL"
+    DECODE_STEP = "DECODE_STEP"
+    PREEMPT = "PREEMPT"
+    FINISH = "FINISH"
+    REJECT = "REJECT"
+
+
+@dataclass
+class TraceEvent:
+    """One timestamped scheduling event."""
+
+    time: float
+    kind: EventType
+    request_id: str = ""
+    instance: str = ""
+    data: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """One timeline line (fixed-width prefix, key=value payload)."""
+        payload = " ".join(
+            f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in self.data.items()
+        )
+        rid = self.request_id or "-"
+        inst = f"[{self.instance}] " if self.instance else ""
+        return f"{self.time:10.4f}s  {self.kind.value:11s} {inst}{rid:12s} {payload}"
+
+
+class Trace:
+    """Append-only collector of :class:`TraceEvent`."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(
+        self,
+        time: float,
+        kind: EventType,
+        request_id: str = "",
+        instance: str = "",
+        **data: float,
+    ) -> None:
+        """Append one event."""
+        self.events.append(TraceEvent(time, kind, request_id, instance, data))
+
+    def of_kind(self, kind: EventType) -> List[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def for_request(self, request_id: str) -> List[TraceEvent]:
+        """All events touching one request."""
+        return [e for e in self.events if e.request_id == request_id]
+
+    def counts(self) -> Dict[str, int]:
+        """Event-kind histogram."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind.value] = out.get(e.kind.value, 0) + 1
+        return out
+
+    def render_timeline(self, limit: Optional[int] = None) -> str:
+        """Human-readable timeline (optionally truncated to ``limit``)."""
+        events = self.events if limit is None else self.events[:limit]
+        lines = [e.render() for e in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def request_latencies(trace: Trace) -> Dict[str, float]:
+    """Per-request E2E latency reconstructed purely from trace events.
+
+    ``FINISH.time - FINISH.data["arrival"]`` — exactly what the
+    simulator stores on each request, so these match
+    ``SimulationResult.e2e`` with no tolerance.
+    """
+    out: Dict[str, float] = {}
+    for e in trace.of_kind(EventType.FINISH):
+        out[e.request_id] = e.time - e.data["arrival"]
+    return out
+
+
+def queue_delays(trace: Trace) -> Dict[str, float]:
+    """Per-request queue delay (admit time minus arrival)."""
+    out: Dict[str, float] = {}
+    for e in trace.of_kind(EventType.ADMIT):
+        # last ADMIT wins: a preempted request re-queues and re-admits
+        out[e.request_id] = e.time - e.data["arrival"]
+    return out

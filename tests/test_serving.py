@@ -168,6 +168,66 @@ class TestRouter:
         assert len(res.all_e2e()) == 20
 
 
+class TestLatencySummaryExtended:
+    def _served(self):
+        # hand-built lifecycle: arrival 0, queued 0.5s, prefill to first
+        # token at 1.0, ten tokens finishing at 10.0
+        reqs = []
+        for i in range(4):
+            r = ServingRequest(f"s{i}", 0.0, 64, 10)
+            r.prefill_start = 0.5
+            r.first_token = 1.0
+            r.finish = 10.0
+            r.generated = 10
+            reqs.append(r)
+        return reqs
+
+    def test_from_requests_fields(self):
+        s = LatencySummary.from_requests(self._served())
+        assert s.mean == pytest.approx(10.0)
+        assert s.queue_delay == pytest.approx(0.5)
+        assert s.tbot == pytest.approx(9.0 / 9)
+        assert s.as_dict()["tbot"] == pytest.approx(1.0)
+        assert s.as_dict()["queue_delay"] == pytest.approx(0.5)
+
+    def test_from_samples_leaves_fields_unset(self):
+        s = LatencySummary.from_samples([1.0, 2.0])
+        assert s.tbot is None and s.queue_delay is None
+        assert "tbot" not in s.as_dict()
+
+    def test_from_requests_skips_rejected(self):
+        reqs = self._served()
+        reqs[0].rejected = True
+        s = LatencySummary.from_requests(reqs)
+        assert s.mean == pytest.approx(10.0)
+
+    def test_from_requests_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_requests([])
+
+    def test_single_token_response_tbot_zero(self):
+        r = ServingRequest("one", 0.0, 64, 1)
+        r.prefill_start = 0.0
+        r.first_token = 1.0
+        r.finish = 1.0
+        r.generated = 1
+        s = LatencySummary.from_requests([r])
+        assert s.tbot == 0.0
+
+    def test_router_result_surfaces_tbot_and_queue_delay(self):
+        insts = [instance() for _ in range(2)]
+        router = Router(insts, ["fp16"] * 2, RoutingPolicy.LOAD_BALANCE)
+        rng = np.random.default_rng(3)
+        arr = np.cumsum(rng.exponential(0.2, size=8))
+        reqs = [
+            RoutedRequest(f"r{i}", float(arr[i]), 256, 24, {"fp16": 24})
+            for i in range(8)
+        ]
+        s = router.serve(reqs).latency_summary()
+        assert s.tbot is not None and s.tbot > 0.0
+        assert s.queue_delay is not None and s.queue_delay >= 0.0
+
+
 class TestMetrics:
     def test_summary(self):
         s = LatencySummary.from_samples([1.0, 2.0, 3.0, 4.0])
