@@ -6,6 +6,7 @@ shared-clock cluster.  Writes ``results/serving_core.txt``.
 """
 
 import numpy as np
+import pytest
 
 from repro.analysis.reporting import format_table
 from repro.compression import NoCompression
@@ -129,3 +130,21 @@ def test_serving_core(benchmark, record_result):
     record_result(res, "serving_core")
     # every policy/admission combo served the whole stream
     assert len(res.tables) == 2
+
+
+def test_chunked_prefill(benchmark, record_result):
+    """Chunked prefill cuts the decode-stall tail at equal throughput."""
+    from repro.experiments import chunked_prefill
+
+    res = benchmark.pedantic(
+        chunked_prefill.run, rounds=1, iterations=1
+    )
+    record_result(res, "serving_chunked")
+    by_chunk = {r["chunk"]: r for r in res.data["raw"]}
+    off, chunked = by_chunk[None], by_chunk[512]
+    # acceptance criterion: >=2x smaller max inter-DECODE_STEP gap at
+    # equal total throughput (within 2%)
+    assert chunked["max_decode_gap"] * 2 <= off["max_decode_gap"]
+    assert chunked["throughput"] == pytest.approx(
+        off["throughput"], rel=0.02
+    )

@@ -25,6 +25,7 @@ from typing import Callable, Dict
 
 from repro.core.config import current_scale
 from repro.experiments import (
+    chunked_prefill,
     fig1_throughput,
     fig2_h800,
     fig3_attention_time,
@@ -45,6 +46,7 @@ _ANALYTIC = {
     "fig2": lambda scale: fig2_h800.run(),
     "fig3": lambda scale: fig3_attention_time.run(),
     "table3": lambda scale: table3_tp.run(),
+    "chunked": lambda scale: chunked_prefill.run(),
 }
 
 _GENERATION = {
@@ -89,6 +91,7 @@ def run_trace(args) -> int:
         max_batch=args.max_batch,
         scheduler=make_policy(args.policy),
         admission=args.admission,
+        chunk_size=args.chunk_size,
     )
     rng = np.random.default_rng(args.seed)
     arrivals = np.cumsum(rng.exponential(1.0 / args.rps, size=args.n))
@@ -105,10 +108,11 @@ def run_trace(args) -> int:
     ]
     trace = Trace()
     result = inst.run(reqs, trace=trace)
+    chunk = "off" if args.chunk_size is None else str(args.chunk_size)
     lines = [
         f"{args.n} requests @ {args.rps:.1f} req/s on {args.algo}/{args.engine} "
         f"({args.policy} scheduler, {args.admission} admission, "
-        f"token budget {inst.token_budget})",
+        f"chunked prefill {chunk}, token budget {inst.token_budget})",
         "",
         trace.render_timeline(limit=args.limit),
         "",
@@ -159,6 +163,9 @@ def main(argv=None) -> int:
                         choices=["fcfs", "shortest", "priority"])
     tracep.add_argument("--admission", default="reserve",
                         choices=["reserve", "dynamic"])
+    tracep.add_argument("--chunk-size", type=int, default=None,
+                        help="chunked-prefill chunk size in tokens "
+                             "(default: single-shot prefill)")
     tracep.add_argument("--seed", type=int, default=0)
     tracep.add_argument("--limit", type=int, default=None,
                         help="cap the number of timeline lines printed")

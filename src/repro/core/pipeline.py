@@ -165,6 +165,7 @@ class CompressedGenerationPipeline:
         max_batch: int = 64,
         scheduler: str = "fcfs",
         admission: str = "reserve",
+        chunk_size: Optional[int] = None,
     ) -> ServerInstance:
         """Build an event-driven serving instance for this deployment."""
         return ServerInstance(
@@ -173,6 +174,7 @@ class CompressedGenerationPipeline:
             max_batch=max_batch,
             scheduler=make_policy(scheduler),
             admission=admission,
+            chunk_size=chunk_size,
         )
 
     def simulate_serving(
@@ -181,15 +183,18 @@ class CompressedGenerationPipeline:
         max_batch: int = 64,
         scheduler: str = "fcfs",
         admission: str = "reserve",
+        chunk_size: Optional[int] = None,
         with_trace: bool = False,
     ) -> SimulationResult:
         """Serve a request stream under this algorithm's cost profile.
 
         ``scheduler`` is one of ``fcfs`` / ``shortest`` / ``priority``;
         ``admission`` is ``reserve`` (peak footprint reserved up front)
-        or ``dynamic`` (live footprint with recompute preemption).  With
-        ``with_trace=True`` the result carries a step-level
+        or ``dynamic`` (live footprint with recompute preemption);
+        ``chunk_size`` enables Sarathi/vLLM-style chunked prefill on
+        continuous-batching engines (``None`` = single-shot prefill).
+        With ``with_trace=True`` the result carries a step-level
         :class:`~repro.serving.trace.Trace` for timeline inspection.
         """
-        inst = self.serving_instance(max_batch, scheduler, admission)
+        inst = self.serving_instance(max_batch, scheduler, admission, chunk_size)
         return inst.run(requests, trace=Trace() if with_trace else None)

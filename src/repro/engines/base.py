@@ -260,10 +260,22 @@ class ServingCostModel:
 
     # ------------------------------------------------------------------
     def _prefill_ops(
-        self, batch: int, prompt_len: int, comp: CompressionCostSpec
+        self,
+        batch: int,
+        prompt_len: int,
+        comp: CompressionCostSpec,
+        kv_prefix: int = 0,
     ):
+        """Ops of one prefill pass over ``prompt_len`` new tokens.
+
+        ``kv_prefix`` is the number of prompt tokens whose KV is already
+        cached (chunked prefill): the new tokens attend over the prefix
+        as well as themselves, and the prefix KV must be re-read from
+        the cache.  ``kv_prefix=0`` is a single-shot prefill.
+        """
         a, tp, eng = self.arch, self.tp, self.engine
         L = prompt_len
+        ctx = kv_prefix + L  # KV context the new tokens attend over
         ops = []
         gemm_flops = (
             2 * batch * L
@@ -291,13 +303,14 @@ class ServingCostModel:
             )
         )
 
-        # causal attention over the prompt
-        attn_flops = 2 * batch * (a.n_heads // tp) * L * L * a.head_dim
+        # causal attention: each new token attends the cached prefix
+        # plus the chunk itself (the full prompt when kv_prefix=0)
+        attn_flops = 2 * batch * (a.n_heads // tp) * L * ctx * a.head_dim
         qkv_bytes = 4 * batch * (a.n_heads // tp) * L * a.head_dim * FP16_BYTES
         eager_bytes = 0.0
         if not eng.flash_attention:
             # eager attention materializes S and P (two extra passes)
-            eager_bytes = 2 * batch * (a.n_heads // tp) * L * L * FP16_BYTES
+            eager_bytes = 2 * batch * (a.n_heads // tp) * L * ctx * FP16_BYTES
         ops.append(
             OpCost(
                 "attention",
@@ -308,6 +321,22 @@ class ServingCostModel:
                 compute_unit="tensor",
             )
         )
+        if kv_prefix > 0:
+            # re-read the already-cached prefix KV (the recurring cost
+            # of chunking: every chunk streams the prefix again)
+            prefix_elems = (
+                2 * batch
+                * (a.n_kv_heads // max(1, min(tp, a.n_kv_heads)))
+                * kv_prefix * a.head_dim
+            )
+            ops.append(
+                OpCost(
+                    "attention",
+                    bytes=prefix_elems * FP16_BYTES * comp.kv_bytes_ratio,
+                    launches=0,
+                    pattern=self._kv_pattern(comp),
+                )
+            )
 
         comp_ops = []
         # importance scoring: re-compute attention for the scored rows
@@ -316,10 +345,10 @@ class ServingCostModel:
         # once an algorithm needs the scores (Section 3.1.2).
         if comp.prefill_score_passes:
             rows = L if comp.score_rows is None else min(L, comp.score_rows)
-            recompute_flops = 2 * batch * (a.n_heads // tp) * rows * L * a.head_dim
+            recompute_flops = 2 * batch * (a.n_heads // tp) * rows * ctx * a.head_dim
             score_bytes = (
                 comp.prefill_score_passes
-                * batch * (a.n_heads // tp) * rows * L * 4
+                * batch * (a.n_heads // tp) * rows * ctx * 4
             )
             comp_ops.append(
                 OpCost(
@@ -360,7 +389,7 @@ class ServingCostModel:
             comp_ops.append(
                 OpCost(
                     "compression",
-                    flops=10 * batch * (a.n_kv_heads // tp) * L,
+                    flops=10 * batch * (a.n_kv_heads // tp) * ctx,
                     launches=2,
                     compute_unit="vector",
                 )
@@ -373,17 +402,38 @@ class ServingCostModel:
         self, batch: int, prompt_len: int, comp: CompressionCostSpec
     ) -> StageCost:
         """Time of one prefill pass for the whole batch."""
-        if not self._fits(comp, batch, prompt_len, prefill_len=prompt_len):
+        return self.prefill_chunk(batch, prompt_len, 0, comp)
+
+    def prefill_chunk(
+        self,
+        batch: int,
+        chunk_len: int,
+        kv_prefix: int,
+        comp: CompressionCostSpec,
+    ) -> StageCost:
+        """Time of one chunked-prefill pass: ``chunk_len`` new prompt
+        tokens attending over ``kv_prefix`` already-cached tokens.
+
+        ``kv_prefix=0`` with the full prompt as the chunk is exactly
+        :meth:`prefill` (same ops, same arithmetic — bit-for-bit), so
+        unchunked serving reproduces single-shot costs.  A later chunk
+        pays for re-streaming the cached prefix KV, so per-chunk cost
+        grows with ``kv_prefix`` — the real cost of Sarathi/vLLM-style
+        chunked prefill.
+        """
+        if not self._fits(
+            comp, batch, kv_prefix + chunk_len, prefill_len=chunk_len
+        ):
             return StageCost(seconds=float("inf"), oom=True)
         a = self.arch
-        ops = self._prefill_ops(batch, prompt_len, comp)
+        ops = self._prefill_ops(batch, chunk_len, comp, kv_prefix=kv_prefix)
         per_layer = self.roofline.total_seconds(ops)
         breakdown = self.roofline.breakdown(ops)
         comm = 0.0
         if self.tp > 1:
             comm = 2 * allreduce_time(
                 self.interconnect,
-                batch * prompt_len * a.d_model * FP16_BYTES,
+                batch * chunk_len * a.d_model * FP16_BYTES,
                 self.tp,
             )
         total = a.n_layers * (per_layer + comm) + self.engine.prefill_overhead

@@ -45,12 +45,26 @@ class LatencySummary:
         )
 
     @staticmethod
+    def degenerate() -> "LatencySummary":
+        """All-zero summary for streams where nothing was served
+        (e.g. every request rejected under a tight token budget)."""
+        return LatencySummary(
+            mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0,
+            tbot=0.0, queue_delay=0.0,
+        )
+
+    @staticmethod
     def from_requests(requests: Sequence) -> "LatencySummary":
         """Build from served :class:`~repro.serving.request.ServingRequest`
-        records, including mean TBOT and queue delay."""
+        records, including mean TBOT and queue delay.
+
+        A stream where every request was rejected yields the
+        :meth:`degenerate` all-zero summary instead of raising, so
+        experiments under tight token budgets report cleanly.
+        """
         served = [r for r in requests if not getattr(r, "rejected", False)]
         if not served:
-            raise ValueError("no served requests to summarize")
+            return LatencySummary.degenerate()
         base = LatencySummary.from_samples([r.e2e_latency for r in served])
         tbots = [r.tbot for r in served if r.generated > 1]
         return LatencySummary(
@@ -92,6 +106,7 @@ class StepMetrics:
     preempts: int
     rejects: int
     finishes: int
+    prefill_chunks: int
     decode_seconds: float
     mean_batch_occupancy: float
     peak_batch_occupancy: int
@@ -99,10 +114,18 @@ class StepMetrics:
     peak_budget_utilization: float
     mean_queue_delay: float
     mean_tbot: float
+    p99_tbot: float
+    max_decode_gap: float
 
     @staticmethod
     def from_trace(trace: Trace) -> "StepMetrics":
-        """Fold a trace into scheduler-level summaries."""
+        """Fold a trace into scheduler-level summaries.
+
+        ``max_decode_gap`` is the largest interval between consecutive
+        ``DECODE_STEP`` completions — the decode-stall metric: a long
+        single-shot prefill freezes every running decode for its whole
+        duration, while chunked prefill bounds the gap near one chunk.
+        """
         steps = trace.of_kind(EventType.DECODE_STEP)
         secs = np.array([e.data["seconds"] for e in steps], dtype=float)
         batches = np.array([e.data["batch"] for e in steps], dtype=float)
@@ -115,6 +138,8 @@ class StepMetrics:
         )
         wall = float(secs.sum())
         w = secs / wall if wall > 0 else None
+        times = np.array([e.time for e in steps], dtype=float)
+        gap = float(np.diff(times).max()) if len(steps) > 1 else 0.0
         finishes = trace.of_kind(EventType.FINISH)
         tbots = [
             (e.time - e.data["first_token"]) / (e.data["generated"] - 1)
@@ -129,6 +154,7 @@ class StepMetrics:
             preempts=len(trace.of_kind(EventType.PREEMPT)),
             rejects=len(trace.of_kind(EventType.REJECT)),
             finishes=len(finishes),
+            prefill_chunks=len(trace.of_kind(EventType.PREFILL_CHUNK)),
             decode_seconds=wall,
             mean_batch_occupancy=float((batches * w).sum()) if w is not None else 0.0,
             peak_batch_occupancy=int(batches.max()) if len(steps) else 0,
@@ -136,6 +162,8 @@ class StepMetrics:
             peak_budget_utilization=float(utils.max()) if len(steps) else 0.0,
             mean_queue_delay=float(np.mean(delays)) if delays else 0.0,
             mean_tbot=float(np.mean(tbots)) if tbots else 0.0,
+            p99_tbot=float(np.percentile(tbots, 99)) if tbots else 0.0,
+            max_decode_gap=gap,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -146,6 +174,7 @@ class StepMetrics:
             "preempts": self.preempts,
             "rejects": self.rejects,
             "finishes": self.finishes,
+            "prefill_chunks": self.prefill_chunks,
             "decode_seconds": self.decode_seconds,
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "peak_batch_occupancy": self.peak_batch_occupancy,
@@ -153,6 +182,8 @@ class StepMetrics:
             "peak_budget_utilization": self.peak_budget_utilization,
             "mean_queue_delay": self.mean_queue_delay,
             "mean_tbot": self.mean_tbot,
+            "p99_tbot": self.p99_tbot,
+            "max_decode_gap": self.max_decode_gap,
         }
 
     def render(self) -> str:

@@ -18,6 +18,9 @@ class ServingRequest:
     ``priority`` and ``predicted_len`` feed the scheduler policies
     (:mod:`repro.serving.scheduler`); ``preemptions`` and ``rejected``
     are filled in by the simulator alongside the timestamps.
+    ``first_token`` records the *earliest* first-token time and survives
+    recompute preemption — the client already received those tokens, so
+    TTFT/TBOT are measured from the original emission, not the re-admission.
     """
 
     request_id: str
@@ -32,6 +35,7 @@ class ServingRequest:
     first_token: Optional[float] = None
     finish: Optional[float] = None
     generated: int = 0
+    prefilled: int = 0  # prompt tokens whose KV is cached (chunked prefill)
     preemptions: int = 0
     rejected: bool = False
 

@@ -14,6 +14,18 @@ batch.  Both batching disciplines run on the same loop:
   decoded until all members finish; steps stay priced at the formed
   batch size (stragglers hold their padded slots).
 
+With ``chunk_size`` set, continuous mode runs Sarathi/vLLM-style
+**chunked prefill**: a prompt longer than the chunk is admitted and
+filled chunk by chunk, each chunk alternating with one decode step for
+the running batch, so a 3k-token prefill no longer stalls every running
+decode for its whole duration.  Each chunk is priced by
+``ServingCostModel.prefill_chunk`` (its cost grows with the cached
+prefix it attends over), partially-prefilled requests count toward the
+KV budget, and under dynamic admission they are the *first* preemption
+victims (dropping chunk KV loses no emitted tokens).  ``chunk_size=None``
+(the default) reproduces single-shot prefill bit-for-bit; static mode
+ignores the knob (eager engines prefill the whole batch at once).
+
 Admission is gated by a KV-token budget derived from the memory model.
 Two admission modes exist: ``"reserve"`` (seed behaviour — a request's
 peak KV footprint is reserved at admission, so the budget can never be
@@ -100,10 +112,13 @@ class ServerInstance:
         decode_block: int = 8,
         scheduler: Optional[SchedulerPolicy] = None,
         admission: str = "reserve",
+        chunk_size: Optional[int] = None,
         name: str = "",
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None for single-shot)")
         if admission not in ADMISSION_MODES:
             raise ValueError(
                 f"admission must be one of {ADMISSION_MODES}, got {admission!r}"
@@ -114,6 +129,7 @@ class ServerInstance:
         self.decode_block = decode_block
         self.scheduler = scheduler or FCFSPolicy()
         self.admission = admission
+        self.chunk_size = chunk_size
         self.name = name
         self.token_budget = self._token_budget()
         self._step_cache: Dict[Tuple[int, int], float] = {}
@@ -155,6 +171,10 @@ class ServerInstance:
         self._used = 0
         self._wake_at: Optional[float] = None
         self._submitted: List[ServingRequest] = []
+        # chunked-prefill state: the request currently mid-prefill, and
+        # whose turn the next wake-up is (chunk vs decode step)
+        self._prefilling: Optional[ServingRequest] = None
+        self._decode_turn = False
         # static-batching state
         self._sbatch: List[ServingRequest] = []
         self._sbatch_size = 0
@@ -194,14 +214,17 @@ class ServerInstance:
 
     @property
     def running_count(self) -> int:
-        """Requests currently decoding."""
-        return len(self._running) + len(self._sbatch)
+        """Requests currently decoding or mid-prefill."""
+        mid = 1 if self._prefilling is not None else 0
+        return len(self._running) + len(self._sbatch) + mid
 
     @property
     def used_tokens(self) -> int:
         """Live KV-token occupancy."""
         if self.admission == "dynamic":
             live = sum(self._live_tokens(r) for r in self._running)
+            if self._prefilling is not None:
+                live += self._prefilling.prefilled
         else:
             live = self._used
         return live + self._static_used()
@@ -280,6 +303,15 @@ class ServerInstance:
     # continuous (iteration-level) batching
     # ------------------------------------------------------------------
     def _wake_continuous(self, now: float) -> None:
+        if self._prefilling is not None:
+            # a chunked prefill is in progress: alternate one decode
+            # step with each chunk so running requests keep emitting
+            # tokens while the long prompt fills in
+            if self._running and self._decode_turn:
+                self._decode(now, limit=1)
+            else:
+                self._prefill_chunk(now)
+            return
         if self._try_admit(now):
             return
         if self._running:
@@ -300,6 +332,8 @@ class ServerInstance:
         need = self._admit_need(req)
         if self.used_tokens + need > self.token_budget:
             return False  # head-of-line stall until a finish frees budget
+        if self.chunk_size is not None and req.prompt_len > self.chunk_size:
+            return self._admit_chunked(now, req, need)
         cost = self.cost_model.prefill(1, req.prompt_len, self.comp)
         if cost.oom:
             self._reject(now, req, need)
@@ -313,7 +347,9 @@ class ServerInstance:
             seconds=cost.seconds, prompt=req.prompt_len,
         )
         end = now + cost.seconds
-        req.first_token = end
+        if req.first_token is None:  # preserved across recompute preemption
+            req.first_token = end
+        req.prefilled = req.prompt_len
         req.generated = 1 if req.response_len > 0 else 0
         if req.done:
             self._finish(req, end)
@@ -323,6 +359,61 @@ class ServerInstance:
                 self._used += need
         self._schedule_wake(end)
         return True
+
+    def _admit_chunked(self, now: float, req: ServingRequest, need: int) -> bool:
+        """Start a chunked prefill: the prompt fills chunk by chunk,
+        interleaved with decode steps for the running batch."""
+        self._waiting.remove(req)
+        req.prefill_start = now
+        req.prefilled = 0
+        self._record(now, EventType.ADMIT, req.request_id, arrival=req.arrival)
+        self._prefilling = req
+        if self.admission == "reserve":
+            self._used += need
+        self._prefill_chunk(now)
+        return True
+
+    def _prefill_chunk(self, now: float) -> None:
+        """Run the next chunk of the in-progress prefill."""
+        req = self._prefilling
+        chunk = min(self.chunk_size, req.prompt_len - req.prefilled)
+        cost = self.cost_model.prefill_chunk(
+            1, chunk, req.prefilled, self.comp
+        )
+        if cost.oom:
+            # a later chunk can OOM on activation memory even when the
+            # first fit; the request can never complete here — drop it
+            self._prefilling = None
+            if self.admission == "reserve":
+                self._used -= self._request_tokens(req)
+            req.prefilled = 0
+            req.rejected = True
+            self._record(
+                now, EventType.REJECT, req.request_id,
+                need=self._request_tokens(req), token_budget=self.token_budget,
+            )
+            self._schedule_wake(now)
+            return
+        end = now + cost.seconds
+        req.prefilled += chunk
+        self._record(
+            now, EventType.PREFILL_CHUNK, req.request_id,
+            seconds=cost.seconds, chunk=chunk,
+            prefilled=req.prefilled, prompt=req.prompt_len,
+        )
+        if req.prefilled >= req.prompt_len:
+            self._prefilling = None
+            if req.first_token is None:
+                req.first_token = end
+            req.generated = 1 if req.response_len > 0 else 0
+            if req.done:
+                if self.admission == "reserve":
+                    self._used -= self._request_tokens(req)
+                self._finish(req, end)
+            else:
+                self._running.append(req)
+        self._decode_turn = True  # decodes get the next slot
+        self._schedule_wake(end)
 
     def _finish(self, req: ServingRequest, at: float) -> None:
         req.finish = at
@@ -345,15 +436,50 @@ class ServerInstance:
             self._step_cache[key] = cached
         return cached
 
-    def _decode(self, now: float) -> None:
-        """Run up to ``decode_block`` steps; stop early whenever batch
-        membership changes (finish/preempt) so every step is priced for
-        the batch actually executing it, or when a new arrival lands."""
+    def _decode(self, now: float, limit: Optional[int] = None) -> None:
+        """Run up to ``decode_block`` steps (or ``limit`` while a chunked
+        prefill is interleaving); stop early whenever batch membership
+        changes (finish/preempt) so every step is priced for the batch
+        actually executing it, or when a new arrival lands.
+
+        Preemption runs *before* each step is priced (vLLM-style): the
+        budget check uses the footprint the step is about to write, so
+        the executing step always fits.  The pre-fix simulator preempted
+        after the step, letting the overflowing step itself be priced
+        against a state the memory model rejects — ``seconds=inf`` — and
+        silently running the clock to infinity.
+        """
         clock = now
-        for _ in range(self.decode_block):
+        self._decode_turn = False
+        for _ in range(self.decode_block if limit is None else limit):
+            preempted = False
+            if self.admission == "dynamic":
+                preempted = self._preempt_if_needed(clock, pre_step=True)
+            if not self._running:
+                break
             batch = len(self._running)
             kv = self._decode_kv_len(self._running)
             dt = self._step_seconds(batch, kv)
+            while dt == float("inf") and self._evict_victim(clock):
+                # memory-model OOM the token budget missed (per-batch
+                # workspace overhead): evict one victim and re-price
+                preempted = True
+                batch = len(self._running)
+                kv = self._decode_kv_len(self._running)
+                dt = self._step_seconds(batch, kv)
+            if dt == float("inf"):
+                # a lone request whose decode can never fit: drop it
+                # rather than spinning the clock to infinity
+                victim = self._running.pop()
+                if self.admission == "reserve":
+                    self._used -= self._request_tokens(victim)
+                victim.rejected = True
+                self._record(
+                    clock, EventType.REJECT, victim.request_id,
+                    need=self._request_tokens(victim),
+                    token_budget=self.token_budget,
+                )
+                break
             clock += dt
             for r in self._running:
                 r.generated += 1
@@ -361,39 +487,72 @@ class ServerInstance:
                 clock, EventType.DECODE_STEP,
                 batch=batch, kv=kv, seconds=dt,
                 used_tokens=self.used_tokens, token_budget=self.token_budget,
+                live=len(self._running),
             )
-            changed = False
+            changed = preempted
             for r in [r for r in self._running if r.done]:
                 self._running.remove(r)
                 if self.admission == "reserve":
                     self._used -= self._request_tokens(r)
                 self._finish(r, clock)
                 changed = True
-            if self.admission == "dynamic":
-                changed |= self._preempt_if_needed(clock)
             if changed:
                 break  # membership changed: re-price from the next wake
             if self._future and self._future[0] <= clock:
                 break  # a new arrival landed mid-block
         self._schedule_wake(clock)
 
-    def _preempt_if_needed(self, clock: float) -> bool:
-        """Evict policy-chosen victims until the live footprint fits."""
-        preempted = False
-        while (
-            sum(self._live_tokens(r) for r in self._running) > self.token_budget
-            and len(self._running) > 1
-        ):
-            victim = self._running.pop(self.scheduler.victim(self._running))
-            self._record(
-                clock, EventType.PREEMPT, victim.request_id,
-                generated=victim.generated,
-                used_tokens=self.used_tokens,
-                token_budget=self.token_budget,
+    def _overflow(self, pre_step: bool = False) -> bool:
+        """Live footprint (decoding + partially-prefilled) over budget?
+
+        With ``pre_step=True`` the check uses the footprint *after* the
+        step about to run (each running request writes one more KV
+        token), so the step that executes is guaranteed to fit.
+        """
+        grow = 1 if pre_step else 0
+        live = sum(
+            min(
+                r.prompt_len + max(1, r.generated) + grow,
+                self._request_tokens(r),
             )
-            victim.generated = 0  # recompute-style: KV dropped, re-prefill
-            victim.preemptions += 1
-            self._waiting.append(victim)
+            for r in self._running
+        )
+        if self._prefilling is not None:
+            live += self._prefilling.prefilled
+        return live > self.token_budget
+
+    def _evict_victim(self, clock: float) -> bool:
+        """Evict one request to reclaim memory and requeue it for
+        recompute.  A partially-prefilled request is the first victim —
+        dropping its chunk KV loses no emitted tokens — then the
+        policy's pick among the decoding batch (never the last one, so
+        forward progress is guaranteed)."""
+        if self._prefilling is not None:
+            victim = self._prefilling
+            self._prefilling = None
+        elif len(self._running) > 1:
+            victim = self._running.pop(self.scheduler.victim(self._running))
+        else:
+            return False
+        if self.admission == "reserve":
+            self._used -= self._request_tokens(victim)
+        self._record(
+            clock, EventType.PREEMPT, victim.request_id,
+            generated=victim.generated,
+            prefilled=victim.prefilled,
+            used_tokens=self.used_tokens,
+            token_budget=self.token_budget,
+        )
+        victim.generated = 0  # recompute-style: KV dropped, re-prefill
+        victim.prefilled = 0
+        victim.preemptions += 1
+        self._waiting.append(victim)
+        return True
+
+    def _preempt_if_needed(self, clock: float, pre_step: bool = False) -> bool:
+        """Evict victims until the live footprint fits the budget."""
+        preempted = False
+        while self._overflow(pre_step) and self._evict_victim(clock):
             preempted = True
         return preempted
 

@@ -4,10 +4,13 @@ Every scheduling decision the event-driven simulator makes can be
 recorded as a typed :class:`TraceEvent`:
 
 - ``ADMIT``        — a request left the queue (data: ``arrival``).
-- ``PREFILL``      — its prompt pass ran (data: ``seconds``).
+- ``PREFILL``      — its prompt pass ran in one shot (data: ``seconds``).
+- ``PREFILL_CHUNK`` — one chunk of a chunked prefill ran (data:
+  ``seconds``, ``chunk``, ``prefilled``, ``prompt``); the request's
+  first token is emitted when the last chunk lands.
 - ``DECODE_STEP``  — one decode iteration for the whole batch
   (data: ``batch``, ``kv``, ``seconds``, ``used_tokens``,
-  ``token_budget``).
+  ``token_budget``, ``live``).
 - ``PREEMPT``      — a request was evicted mid-decode to reclaim KV
   budget and requeued for recompute.
 - ``FINISH``       — a request completed (data: ``arrival``,
@@ -34,6 +37,7 @@ class EventType(str, enum.Enum):
 
     ADMIT = "ADMIT"
     PREFILL = "PREFILL"
+    PREFILL_CHUNK = "PREFILL_CHUNK"
     DECODE_STEP = "DECODE_STEP"
     PREEMPT = "PREEMPT"
     FINISH = "FINISH"
@@ -58,7 +62,7 @@ class TraceEvent:
         )
         rid = self.request_id or "-"
         inst = f"[{self.instance}] " if self.instance else ""
-        return f"{self.time:10.4f}s  {self.kind.value:11s} {inst}{rid:12s} {payload}"
+        return f"{self.time:10.4f}s  {self.kind.value:13s} {inst}{rid:12s} {payload}"
 
 
 class Trace:

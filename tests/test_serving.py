@@ -201,9 +201,19 @@ class TestLatencySummaryExtended:
         s = LatencySummary.from_requests(reqs)
         assert s.mean == pytest.approx(10.0)
 
-    def test_from_requests_empty_raises(self):
-        with pytest.raises(ValueError):
-            LatencySummary.from_requests([])
+    def test_from_requests_empty_degenerate(self):
+        # an all-rejected stream must summarize cleanly (zeros), not
+        # crash experiments under tight token budgets
+        s = LatencySummary.from_requests([])
+        assert s.mean == s.p99 == s.max == 0.0
+        assert s.tbot == 0.0 and s.queue_delay == 0.0
+
+    def test_from_requests_all_rejected_degenerate(self):
+        reqs = self._served()
+        for r in reqs:
+            r.rejected = True
+        s = LatencySummary.from_requests(reqs)
+        assert s == LatencySummary.degenerate()
 
     def test_single_token_response_tbot_zero(self):
         r = ServingRequest("one", 0.0, 64, 1)
