@@ -26,6 +26,7 @@ from typing import Callable, Dict
 from repro.core.config import current_scale
 from repro.experiments import (
     chunked_prefill,
+    slo_admission,
     fig1_throughput,
     fig2_h800,
     fig3_attention_time,
@@ -47,6 +48,7 @@ _ANALYTIC = {
     "fig3": lambda scale: fig3_attention_time.run(),
     "table3": lambda scale: table3_tp.run(),
     "chunked": lambda scale: chunked_prefill.run(),
+    "slo": lambda scale: slo_admission.run(),
 }
 
 _GENERATION = {
@@ -103,16 +105,24 @@ def run_trace(args) -> int:
             arrival=float(arrivals[i]),
             prompt_len=int(prompts[i]),
             response_len=int(resps[i]),
+            ttft_deadline=args.ttft_slo,
+            tbot_target=args.tbot_slo,
         )
         for i in range(args.n)
     ]
     trace = Trace()
     result = inst.run(reqs, trace=trace)
     chunk = "off" if args.chunk_size is None else str(args.chunk_size)
+    slo = ""
+    if args.ttft_slo is not None or args.tbot_slo is not None:
+        slo = (
+            f", SLO ttft<={args.ttft_slo or 'off'}s"
+            f" tbot<={args.tbot_slo or 'off'}s"
+        )
     lines = [
         f"{args.n} requests @ {args.rps:.1f} req/s on {args.algo}/{args.engine} "
         f"({args.policy} scheduler, {args.admission} admission, "
-        f"chunked prefill {chunk}, token budget {inst.token_budget})",
+        f"chunked prefill {chunk}, token budget {inst.token_budget}{slo})",
         "",
         trace.render_timeline(limit=args.limit),
         "",
@@ -160,12 +170,18 @@ def main(argv=None) -> int:
     tracep.add_argument("--rps", type=float, default=4.0, help="arrival rate")
     tracep.add_argument("--max-batch", type=int, default=64)
     tracep.add_argument("--policy", default="fcfs",
-                        choices=["fcfs", "shortest", "priority"])
+                        choices=["fcfs", "shortest", "priority", "slo"])
     tracep.add_argument("--admission", default="reserve",
                         choices=["reserve", "dynamic"])
     tracep.add_argument("--chunk-size", type=int, default=None,
                         help="chunked-prefill chunk size in tokens "
                              "(default: single-shot prefill)")
+    tracep.add_argument("--ttft-slo", type=float, default=None,
+                        help="per-request TTFT deadline in seconds "
+                             "(FINISH events flag ttft_miss=1 inline)")
+    tracep.add_argument("--tbot-slo", type=float, default=None,
+                        help="per-request TBOT target in seconds/token "
+                             "(FINISH events flag tbot_miss=1 inline)")
     tracep.add_argument("--seed", type=int, default=0)
     tracep.add_argument("--limit", type=int, default=None,
                         help="cap the number of timeline lines printed")

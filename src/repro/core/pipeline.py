@@ -185,16 +185,29 @@ class CompressedGenerationPipeline:
         admission: str = "reserve",
         chunk_size: Optional[int] = None,
         with_trace: bool = False,
+        ttft_slo: Optional[float] = None,
+        tbot_slo: Optional[float] = None,
     ) -> SimulationResult:
         """Serve a request stream under this algorithm's cost profile.
 
-        ``scheduler`` is one of ``fcfs`` / ``shortest`` / ``priority``;
+        ``scheduler`` is one of ``fcfs`` / ``shortest`` / ``priority`` /
+        ``slo`` (earliest-deadline-first by live slack);
         ``admission`` is ``reserve`` (peak footprint reserved up front)
         or ``dynamic`` (live footprint with recompute preemption);
         ``chunk_size`` enables Sarathi/vLLM-style chunked prefill on
         continuous-batching engines (``None`` = single-shot prefill).
+        ``ttft_slo`` / ``tbot_slo`` stamp a fleet-wide TTFT deadline /
+        TBOT target (seconds) onto every request that does not already
+        carry its own; attainment then shows up in
+        :class:`~repro.serving.metrics.LatencySummary` and
+        :class:`~repro.serving.metrics.StepMetrics`.
         With ``with_trace=True`` the result carries a step-level
         :class:`~repro.serving.trace.Trace` for timeline inspection.
         """
+        for r in requests:
+            if ttft_slo is not None and r.ttft_deadline is None:
+                r.ttft_deadline = ttft_slo
+            if tbot_slo is not None and r.tbot_target is None:
+                r.tbot_target = tbot_slo
         inst = self.serving_instance(max_batch, scheduler, admission, chunk_size)
         return inst.run(requests, trace=Trace() if with_trace else None)

@@ -3,6 +3,7 @@
 from repro.experiments import (
     ablations,
     appendix,
+    chunked_prefill,
     fig1_throughput,
     fig2_h800,
     fig3_attention_time,
@@ -10,6 +11,7 @@ from repro.experiments import (
     fig5_latency_cdf,
     fig6_negative_threshold,
     fig7_negative_tasks,
+    slo_admission,
     table3_tp,
     table4_semantic,
     table5_length_ratio,
@@ -26,6 +28,7 @@ from repro.experiments.common import (
 __all__ = [
     "ablations",
     "appendix",
+    "chunked_prefill",
     "fig1_throughput",
     "fig2_h800",
     "fig3_attention_time",
@@ -33,6 +36,7 @@ __all__ = [
     "fig5_latency_cdf",
     "fig6_negative_threshold",
     "fig7_negative_tasks",
+    "slo_admission",
     "table3_tp",
     "table4_semantic",
     "table5_length_ratio",

@@ -15,6 +15,7 @@ from repro.serving.scheduler import (
     PriorityPolicy,
     SchedulerPolicy,
     ShortestFirstPolicy,
+    SlackPolicy,
     make_policy,
 )
 from repro.serving.simulator import ServerInstance, SimulationResult
@@ -43,6 +44,7 @@ __all__ = [
     "PriorityPolicy",
     "SchedulerPolicy",
     "ShortestFirstPolicy",
+    "SlackPolicy",
     "make_policy",
     "ServerInstance",
     "SimulationResult",

@@ -120,6 +120,12 @@ class Cluster:
         ``pick`` chooses an instance from live views and ``make`` builds
         the concrete :class:`ServingRequest` for the chosen instance.
         Returns per-instance results plus the request -> instance map.
+
+        Every arrival time is pre-registered with *every* instance
+        (:meth:`ServerInstance.expect`): the routing decision only lands
+        at the arrival instant, but an instance mid-decode-block must
+        already know a request may arrive so it can break the block and
+        consider admission — exactly as the ``submit()`` path does.
         """
         loop = self._attach_all(trace)
         assignment: Dict[str, int] = {}
@@ -130,6 +136,8 @@ class Cluster:
             self.instances[idx].receive(make(req, idx, loop.now))
 
         for req in sorted(requests, key=lambda r: r.arrival):
+            for inst in self.instances:
+                inst.expect(req.arrival)
             loop.schedule(req.arrival, partial(dispatch, req))
         loop.run()
         return [inst.result() for inst in self.instances], assignment

@@ -20,6 +20,13 @@ class LatencySummary:
     (mean seconds queued before admission) are filled in when the
     summary is built from served requests (:meth:`from_requests`);
     plain samples (:meth:`from_samples`) leave them ``None``.
+
+    ``ttft_attainment`` / ``tbot_attainment`` are the fractions of
+    served requests meeting their TTFT / TBOT SLO targets (``None``
+    when no request carries that target), and ``goodput`` is attained
+    tokens per second — tokens from requests that met every SLO target
+    they set, divided by the stream's makespan (plain throughput when
+    the stream is deadline-free).
     """
 
     mean: float
@@ -29,6 +36,9 @@ class LatencySummary:
     max: float
     tbot: Optional[float] = None
     queue_delay: Optional[float] = None
+    ttft_attainment: Optional[float] = None
+    tbot_attainment: Optional[float] = None
+    goodput: Optional[float] = None
 
     @staticmethod
     def from_samples(samples: Sequence[float]) -> "LatencySummary":
@@ -50,7 +60,7 @@ class LatencySummary:
         (e.g. every request rejected under a tight token budget)."""
         return LatencySummary(
             mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0,
-            tbot=0.0, queue_delay=0.0,
+            tbot=0.0, queue_delay=0.0, goodput=0.0,
         )
 
     @staticmethod
@@ -67,6 +77,12 @@ class LatencySummary:
             return LatencySummary.degenerate()
         base = LatencySummary.from_samples([r.e2e_latency for r in served])
         tbots = [r.tbot for r in served if r.generated > 1]
+        with_ttft = [r for r in served if getattr(r, "ttft_deadline", None) is not None]
+        with_tbot = [r for r in served if getattr(r, "tbot_target", None) is not None]
+        span = max(r.finish for r in served) - min(r.arrival for r in served)
+        attained = sum(
+            r.generated for r in served if getattr(r, "slo_met", True)
+        )
         return LatencySummary(
             mean=base.mean,
             p50=base.p50,
@@ -75,6 +91,15 @@ class LatencySummary:
             max=base.max,
             tbot=float(np.mean(tbots)) if tbots else 0.0,
             queue_delay=float(np.mean([r.queue_delay for r in served])),
+            ttft_attainment=(
+                sum(r.ttft_met for r in with_ttft) / len(with_ttft)
+                if with_ttft else None
+            ),
+            tbot_attainment=(
+                sum(r.tbot_met for r in with_tbot) / len(with_tbot)
+                if with_tbot else None
+            ),
+            goodput=attained / span if span > 0 else 0.0,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -90,6 +115,12 @@ class LatencySummary:
             out["tbot"] = self.tbot
         if self.queue_delay is not None:
             out["queue_delay"] = self.queue_delay
+        if self.ttft_attainment is not None:
+            out["ttft_attainment"] = self.ttft_attainment
+        if self.tbot_attainment is not None:
+            out["tbot_attainment"] = self.tbot_attainment
+        if self.goodput is not None:
+            out["goodput"] = self.goodput
         return out
 
 
@@ -116,15 +147,34 @@ class StepMetrics:
     mean_tbot: float
     p99_tbot: float
     max_decode_gap: float
+    ttft_attainment: float
+    tbot_attainment: float
+    goodput: float
 
     @staticmethod
     def from_trace(trace: Trace) -> "StepMetrics":
         """Fold a trace into scheduler-level summaries.
 
         ``max_decode_gap`` is the largest interval between consecutive
-        ``DECODE_STEP`` completions — the decode-stall metric: a long
-        single-shot prefill freezes every running decode for its whole
-        duration, while chunked prefill bounds the gap near one chunk.
+        ``DECODE_STEP`` completions *while some client was mid-stream*
+        — the decode-stall metric: a long single-shot prefill freezes
+        every running decode for its whole duration, while chunked
+        prefill bounds the gap near one chunk.  A gap counts only if a
+        served request's token stream spans it (``first_token`` at or
+        before the gap opens, ``finish`` at or after it closes);
+        between-burst idle time, when nobody is waiting for a next
+        token, is not a stall.
+
+        ``mean_queue_delay`` averages each served request's *last*
+        admission, measured from its ``queued_at`` epoch — so it equals
+        the mean of ``ServingRequest.queue_delay`` even on traces with
+        preemptions, where the old admit-minus-arrival accounting
+        double-counted the wait before the first admission.
+
+        ``ttft_attainment`` / ``tbot_attainment`` are fractions of
+        finished requests meeting their SLO targets (1.0 when the trace
+        carries none), and ``goodput`` is attained tokens per second
+        over the stream's makespan.
         """
         steps = trace.of_kind(EventType.DECODE_STEP)
         secs = np.array([e.data["seconds"] for e in steps], dtype=float)
@@ -139,15 +189,42 @@ class StepMetrics:
         wall = float(secs.sum())
         w = secs / wall if wall > 0 else None
         times = np.array([e.time for e in steps], dtype=float)
-        gap = float(np.diff(times).max()) if len(steps) > 1 else 0.0
         finishes = trace.of_kind(EventType.FINISH)
+        # token streams in flight: a gap only stalls a client whose
+        # stream covers it entirely
+        spans = [(e.data["first_token"], e.time) for e in finishes]
+        gap = 0.0
+        for t1, t2 in zip(times[:-1], times[1:]):
+            if any(start <= t1 and end >= t2 for start, end in spans):
+                gap = max(gap, float(t2 - t1))
         tbots = [
             (e.time - e.data["first_token"]) / (e.data["generated"] - 1)
             for e in finishes
             if e.data["generated"] > 1
         ]
         admits = trace.of_kind(EventType.ADMIT)
-        delays = [e.time - e.data["arrival"] for e in admits]
+        # last admission per request, measured from its (re)queue epoch;
+        # requests that were admitted but later dropped mid-decode are
+        # excluded (they were never served)
+        dropped = {e.request_id for e in trace.of_kind(EventType.REJECT)}
+        last_admit: Dict[str, float] = {}
+        for e in admits:
+            last_admit[e.request_id] = e.time - e.data.get(
+                "queued_at", e.data["arrival"]
+            )
+        delays = [d for rid, d in last_admit.items() if rid not in dropped]
+        with_ttft = [e for e in finishes if "ttft_deadline" in e.data]
+        with_tbot = [e for e in finishes if "tbot_target" in e.data]
+        attained = sum(
+            e.data["generated"]
+            for e in finishes
+            if not e.data.get("ttft_miss") and not e.data.get("tbot_miss")
+        )
+        span = (
+            max(e.time for e in finishes)
+            - min(e.data["arrival"] for e in finishes)
+            if finishes else 0.0
+        )
         return StepMetrics(
             decode_steps=len(steps),
             admits=len(admits),
@@ -164,6 +241,17 @@ class StepMetrics:
             mean_tbot=float(np.mean(tbots)) if tbots else 0.0,
             p99_tbot=float(np.percentile(tbots, 99)) if tbots else 0.0,
             max_decode_gap=gap,
+            ttft_attainment=(
+                1.0 - sum("ttft_miss" in e.data for e in with_ttft)
+                / len(with_ttft)
+                if with_ttft else 1.0
+            ),
+            tbot_attainment=(
+                1.0 - sum("tbot_miss" in e.data for e in with_tbot)
+                / len(with_tbot)
+                if with_tbot else 1.0
+            ),
+            goodput=attained / span if span > 0 else 0.0,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -184,6 +272,9 @@ class StepMetrics:
             "mean_tbot": self.mean_tbot,
             "p99_tbot": self.p99_tbot,
             "max_decode_gap": self.max_decode_gap,
+            "ttft_attainment": self.ttft_attainment,
+            "tbot_attainment": self.tbot_attainment,
+            "goodput": self.goodput,
         }
 
     def render(self) -> str:

@@ -21,6 +21,18 @@ class ServingRequest:
     ``first_token`` records the *earliest* first-token time and survives
     recompute preemption — the client already received those tokens, so
     TTFT/TBOT are measured from the original emission, not the re-admission.
+
+    ``ttft_deadline`` and ``tbot_target`` are optional per-request SLO
+    targets: the first token must land within ``ttft_deadline`` seconds
+    of arrival, and each subsequent token within ``tbot_target`` seconds
+    of the previous one.  ``SlackPolicy`` schedules against them and the
+    metrics layer reports attainment; both default to ``None``
+    (deadline-free, scheduled FCFS).
+
+    ``queued_at`` is the time the request last entered the waiting
+    queue — its arrival for a fresh request, the preemption instant for
+    a requeued one — so ``queue_delay`` measures the *last* wait, not
+    time since the original arrival.
     """
 
     request_id: str
@@ -29,6 +41,8 @@ class ServingRequest:
     response_len: int
     priority: int = 0
     predicted_len: Optional[float] = None
+    ttft_deadline: Optional[float] = None
+    tbot_target: Optional[float] = None
 
     # filled in by the simulator
     prefill_start: Optional[float] = None
@@ -38,6 +52,7 @@ class ServingRequest:
     prefilled: int = 0  # prompt tokens whose KV is cached (chunked prefill)
     preemptions: int = 0
     rejected: bool = False
+    queued_at: Optional[float] = None  # last time the request was (re)queued
 
     @property
     def ttft(self) -> float:
@@ -55,10 +70,13 @@ class ServingRequest:
 
     @property
     def queue_delay(self) -> float:
-        """Seconds spent queued before (the last) admission."""
+        """Seconds spent queued before the last admission, measured from
+        the last (re)queue epoch — arrival for a fresh request, the
+        preemption instant for a requeued one."""
         if self.prefill_start is None:
             raise RuntimeError(f"request {self.request_id} not yet served")
-        return self.prefill_start - self.arrival
+        since = self.queued_at if self.queued_at is not None else self.arrival
+        return self.prefill_start - since
 
     @property
     def tbot(self) -> float:
@@ -68,6 +86,26 @@ class ServingRequest:
         if self.generated <= 1:
             return 0.0
         return (self.finish - self.first_token) / (self.generated - 1)
+
+    @property
+    def ttft_met(self) -> Optional[bool]:
+        """Whether the TTFT SLO was met (``None`` if no deadline set)."""
+        if self.ttft_deadline is None:
+            return None
+        return self.ttft <= self.ttft_deadline
+
+    @property
+    def tbot_met(self) -> Optional[bool]:
+        """Whether the TBOT SLO was met (``None`` if no target set)."""
+        if self.tbot_target is None:
+            return None
+        return self.tbot <= self.tbot_target
+
+    @property
+    def slo_met(self) -> bool:
+        """Whether every SLO target that was set is met (vacuously true
+        for deadline-free requests)."""
+        return self.ttft_met is not False and self.tbot_met is not False
 
     @property
     def done(self) -> bool:

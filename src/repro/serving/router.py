@@ -13,6 +13,13 @@ routing policies:
 - ``both``        — route to the instance with the smallest predicted
   end-to-end latency (prefill + predicted length / predicted decode
   throughput + queued work).
+- ``slo``         — route a deadlined arrival to the instance most
+  likely to meet its TTFT deadline: maximize predicted slack
+  (``ttft_deadline − (backlog drain + own prefill)``), with the backlog
+  estimated from live queue depth and KV-token occupancy in online mode
+  (the decayed load model offline).  Deadline-free arrivals fall back to
+  least-loaded, keeping lightly loaded instances available for urgent
+  traffic.
 
 Two routing modes share these policies:
 
@@ -52,17 +59,25 @@ class RoutingPolicy(enum.Enum):
     THROUGHPUT = "throughput"
     LENGTH = "length"
     BOTH = "both"
+    SLO = "slo"
 
 
 @dataclass
 class RoutedRequest:
-    """A request plus its per-algorithm true response lengths."""
+    """A request plus its per-algorithm true response lengths.
+
+    ``ttft_deadline`` / ``tbot_target`` are optional per-request SLO
+    targets, forwarded onto the concrete :class:`ServingRequest` and
+    used by the ``slo`` routing policy.
+    """
 
     request_id: str
     arrival: float
     prompt_len: int
     intended_len: int
     lengths_by_algo: Dict[str, int]
+    ttft_deadline: Optional[float] = None
+    tbot_target: Optional[float] = None
 
 
 @dataclass
@@ -154,10 +169,27 @@ class Router:
         e2e = load_seconds[idx] + prefill + decode
         return per_seq_rate, pred_len, e2e
 
+    def _slo_slack(
+        self, req: RoutedRequest, idx: int, load_seconds: np.ndarray
+    ) -> float:
+        """Predicted TTFT slack on instance ``idx``: deadline minus the
+        backlog drain plus this request's own prefill."""
+        inst = self.instances[idx]
+        prefill = inst.cost_model.prefill(1, req.prompt_len, inst.comp).seconds
+        return req.ttft_deadline - (load_seconds[idx] + prefill)
+
     def _pick(self, req, load_tokens, load_seconds) -> int:
         n = len(self.instances)
         if self.policy == RoutingPolicy.LOAD_BALANCE:
             return int(np.argmin(load_tokens))
+        if self.policy == RoutingPolicy.SLO:
+            if getattr(req, "ttft_deadline", None) is None:
+                # deadline-free: spread by load, keeping fast instances
+                # free for urgent traffic
+                return int(np.argmin(load_tokens))
+            return int(np.argmax(
+                [self._slo_slack(req, i, load_seconds) for i in range(n)]
+            ))
         est = [self._estimate(req, i, load_tokens, load_seconds) for i in range(n)]
         if self.policy == RoutingPolicy.THROUGHPUT:
             # highest *per-sequence* decode rate this request would see
@@ -187,6 +219,8 @@ class Router:
             prompt_len=req.prompt_len,
             response_len=max(1, true_len),
             predicted_len=pred_len,
+            ttft_deadline=req.ttft_deadline,
+            tbot_target=req.tbot_target,
         )
 
     # ------------------------------------------------------------------

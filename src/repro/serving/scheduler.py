@@ -35,8 +35,11 @@ class SchedulerPolicy(abc.ABC):
     def select(self, waiting: List[ServingRequest], clock: float) -> int:
         """Index (into ``waiting``) of the next request to admit."""
 
-    def victim(self, running: List[ServingRequest]) -> int:
+    def victim(self, running: List[ServingRequest], clock: float = 0.0) -> int:
         """Index (into ``running``) of the request to preempt.
+
+        ``clock`` is the simulation time of the eviction (deadline-aware
+        policies compute live slack from it; the others ignore it).
 
         Default: the most recently admitted request — the oldest keeps
         running, which guarantees forward progress.
@@ -73,7 +76,7 @@ class ShortestFirstPolicy(SchedulerPolicy):
             key=lambda i: (self._expected(waiting[i]), waiting[i].arrival, i),
         )
 
-    def victim(self, running: List[ServingRequest]) -> int:
+    def victim(self, running: List[ServingRequest], clock: float = 0.0) -> int:
         def remaining(r: ServingRequest) -> float:
             return self._expected(r) - r.generated
 
@@ -92,18 +95,76 @@ class PriorityPolicy(SchedulerPolicy):
             key=lambda i: (-waiting[i].priority, waiting[i].arrival, i),
         )
 
-    def victim(self, running: List[ServingRequest]) -> int:
+    def victim(self, running: List[ServingRequest], clock: float = 0.0) -> int:
         return min(range(len(running)), key=lambda i: (running[i].priority, -i))
 
 
+class SlackPolicy(SchedulerPolicy):
+    """SLO-aware earliest-deadline-first by *live slack*.
+
+    A request's slack is ``deadline − clock − predicted remaining
+    work``: how many seconds of schedule margin remain before its next
+    SLO milestone.  Before the first token the milestone is the TTFT
+    deadline (``arrival + ttft_deadline``) and the remaining work is the
+    unfilled prompt; once decoding, it is the finish time implied by the
+    TBOT target (``first_token + tbot_target * (response_len − 1)``)
+    with the remaining response as work.  Work is priced at
+    ``seconds_per_token`` (default 0.0, i.e. pure EDF — orderings only
+    shift when a calibrated per-token rate is supplied).
+
+    Admission picks the *smallest* slack (most urgent); preemption picks
+    the *largest* (least urgent).  Deadline-free requests have infinite
+    slack, so they are admitted FCFS after every deadlined request and
+    preempted first.  With no deadlines anywhere the policy reproduces
+    FCFS bit-for-bit: admission falls back to arrival order and the
+    victim to the most recent admission.
+    """
+
+    name = "slo"
+
+    def __init__(self, seconds_per_token: float = 0.0) -> None:
+        self.seconds_per_token = seconds_per_token
+
+    def slack(self, req: ServingRequest, clock: float) -> float:
+        """Seconds of margin before ``req``'s next SLO milestone."""
+        if req.first_token is None:
+            if req.ttft_deadline is None:
+                return float("inf")
+            deadline = req.arrival + req.ttft_deadline
+            work = self.seconds_per_token * (req.prompt_len - req.prefilled)
+        else:
+            if req.tbot_target is None:
+                return float("inf")
+            deadline = req.first_token + req.tbot_target * max(
+                req.response_len - 1, 0
+            )
+            work = self.seconds_per_token * (req.response_len - req.generated)
+        return deadline - clock - work
+
+    def select(self, waiting: List[ServingRequest], clock: float) -> int:
+        return min(
+            range(len(waiting)),
+            key=lambda i: (
+                self.slack(waiting[i], clock), waiting[i].arrival, i,
+            ),
+        )
+
+    def victim(self, running: List[ServingRequest], clock: float = 0.0) -> int:
+        return max(
+            range(len(running)),
+            key=lambda i: (self.slack(running[i], clock), i),
+        )
+
+
 _POLICIES = {
-    cls.name: cls for cls in (FCFSPolicy, ShortestFirstPolicy, PriorityPolicy)
+    cls.name: cls
+    for cls in (FCFSPolicy, ShortestFirstPolicy, PriorityPolicy, SlackPolicy)
 }
 
 
 def make_policy(name: str) -> SchedulerPolicy:
     """Instantiate a scheduler policy by name (``fcfs``, ``shortest``,
-    ``priority``)."""
+    ``priority``, ``slo``)."""
     try:
         return _POLICIES[name]()
     except KeyError:

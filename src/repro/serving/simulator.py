@@ -194,10 +194,31 @@ class ServerInstance:
         heapq.heappush(self._future, req.arrival)
         self._loop.schedule(req.arrival, partial(self._on_arrival, req))
 
+    def expect(self, at: float) -> None:
+        """Pre-register a *possible* future arrival time.
+
+        The online routing path decides the target instance only at the
+        arrival instant, after any in-flight decode block has already
+        been simulated past it — so without advance notice a routed
+        request waited up to a full ``decode_block`` before admission
+        was even considered, while ``submit()`` arrivals broke the block
+        at their arrival time.  ``Cluster.run_online`` calls this on
+        every instance for every arrival; entries that turn out to be
+        someone else's request are pruned at the next wake-up.
+        """
+        heapq.heappush(self._future, at)
+
     def receive(self, req: ServingRequest) -> None:
-        """Accept a request *now* (online routing path)."""
+        """Accept a request *now* (online routing path).
+
+        Consumes the matching :meth:`expect` entry exactly like
+        ``_on_arrival`` does for ``submit()``, so both paths admit
+        mid-decode-block arrivals with identical queue delays.
+        """
         assert self._loop is not None, "attach() before receive()"
         self._submitted.append(req)
+        if self._future and self._future[0] <= req.arrival:
+            heapq.heappop(self._future)
         self._waiting.append(req)
         self._ensure_wake()
 
@@ -270,9 +291,27 @@ class ServerInstance:
         if self._trace is not None:
             self._trace.record(time, kind, rid, self.name, **data)
 
+    def _record_admit(self, now: float, req: ServingRequest) -> None:
+        """ADMIT event carrying the (re)queue epoch and SLO targets."""
+        data = {
+            "arrival": req.arrival,
+            "queued_at": req.queued_at if req.queued_at is not None else req.arrival,
+        }
+        if req.ttft_deadline is not None:
+            data["ttft_deadline"] = req.ttft_deadline
+        if req.tbot_target is not None:
+            data["tbot_target"] = req.tbot_target
+        self._record(now, EventType.ADMIT, req.request_id, **data)
+
     def _wake(self) -> None:
         self._wake_at = None
         now = self._loop.now
+        # drop stale expected-arrival entries: every arrival event at or
+        # before `now` has already fired (setup-scheduled events precede
+        # same-time wake-ups), so anything left is an online arrival
+        # that was routed to a different instance
+        while self._future and self._future[0] <= now:
+            heapq.heappop(self._future)
         self._reject_impossible(now)
         if self.cost_model.engine.supports_continuous_batching:
             self._wake_continuous(now)
@@ -341,7 +380,7 @@ class ServerInstance:
             return True
         self._waiting.remove(req)
         req.prefill_start = now
-        self._record(now, EventType.ADMIT, req.request_id, arrival=req.arrival)
+        self._record_admit(now, req)
         self._record(
             now, EventType.PREFILL, req.request_id,
             seconds=cost.seconds, prompt=req.prompt_len,
@@ -366,7 +405,7 @@ class ServerInstance:
         self._waiting.remove(req)
         req.prefill_start = now
         req.prefilled = 0
-        self._record(now, EventType.ADMIT, req.request_id, arrival=req.arrival)
+        self._record_admit(now, req)
         self._prefilling = req
         if self.admission == "reserve":
             self._used += need
@@ -417,12 +456,24 @@ class ServerInstance:
 
     def _finish(self, req: ServingRequest, at: float) -> None:
         req.finish = at
-        self._record(
-            at, EventType.FINISH, req.request_id,
-            arrival=req.arrival,
-            first_token=req.first_token,
-            generated=req.generated,
-        )
+        data = {
+            "arrival": req.arrival,
+            "first_token": req.first_token,
+            "generated": req.generated,
+        }
+        if req.ttft_deadline is not None:
+            data["ttft_deadline"] = req.ttft_deadline
+            if req.first_token - req.arrival > req.ttft_deadline:
+                data["ttft_miss"] = 1
+        if req.tbot_target is not None:
+            data["tbot_target"] = req.tbot_target
+            if (
+                req.generated > 1
+                and (at - req.first_token) / (req.generated - 1)
+                > req.tbot_target
+            ):
+                data["tbot_miss"] = 1
+        self._record(at, EventType.FINISH, req.request_id, **data)
 
     def _decode_kv_len(self, running: List[ServingRequest]) -> int:
         lens = [r.prompt_len + r.generated for r in running]
@@ -468,9 +519,13 @@ class ServerInstance:
                 kv = self._decode_kv_len(self._running)
                 dt = self._step_seconds(batch, kv)
             if dt == float("inf"):
-                # a lone request whose decode can never fit: drop it
-                # rather than spinning the clock to infinity
-                victim = self._running.pop()
+                # a request whose decode can never fit: drop the
+                # scheduler's victim (the request whose footprint caused
+                # the OOM, per policy) rather than spinning the clock to
+                # infinity
+                victim = self._running.pop(
+                    self.scheduler.victim(self._running, clock)
+                )
                 if self.admission == "reserve":
                     self._used -= self._request_tokens(victim)
                 victim.rejected = True
@@ -478,6 +533,7 @@ class ServerInstance:
                     clock, EventType.REJECT, victim.request_id,
                     need=self._request_tokens(victim),
                     token_budget=self.token_budget,
+                    generated=victim.generated,
                 )
                 break
             clock += dt
@@ -531,7 +587,9 @@ class ServerInstance:
             victim = self._prefilling
             self._prefilling = None
         elif len(self._running) > 1:
-            victim = self._running.pop(self.scheduler.victim(self._running))
+            victim = self._running.pop(
+                self.scheduler.victim(self._running, clock)
+            )
         else:
             return False
         if self.admission == "reserve":
@@ -540,12 +598,14 @@ class ServerInstance:
             clock, EventType.PREEMPT, victim.request_id,
             generated=victim.generated,
             prefilled=victim.prefilled,
+            requeued_at=clock,
             used_tokens=self.used_tokens,
             token_budget=self.token_budget,
         )
         victim.generated = 0  # recompute-style: KV dropped, re-prefill
         victim.prefilled = 0
         victim.preemptions += 1
+        victim.queued_at = clock  # queue delay restarts at the requeue
         self._waiting.append(victim)
         return True
 
@@ -593,7 +653,7 @@ class ServerInstance:
         for r in batch:
             self._waiting.remove(r)
             r.prefill_start = now
-            self._record(now, EventType.ADMIT, r.request_id, arrival=r.arrival)
+            self._record_admit(now, r)
             r.first_token = end
             r.generated = 1 if r.response_len > 0 else 0
         self._record(

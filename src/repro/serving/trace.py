@@ -3,7 +3,10 @@
 Every scheduling decision the event-driven simulator makes can be
 recorded as a typed :class:`TraceEvent`:
 
-- ``ADMIT``        — a request left the queue (data: ``arrival``).
+- ``ADMIT``        — a request left the queue (data: ``arrival``,
+  ``queued_at`` — the last (re)queue epoch, which is the arrival for a
+  fresh request and the preemption instant for a requeued one — plus
+  ``ttft_deadline`` / ``tbot_target`` when SLO targets are set).
 - ``PREFILL``      — its prompt pass ran in one shot (data: ``seconds``).
 - ``PREFILL_CHUNK`` — one chunk of a chunked prefill ran (data:
   ``seconds``, ``chunk``, ``prefilled``, ``prompt``); the request's
@@ -12,11 +15,15 @@ recorded as a typed :class:`TraceEvent`:
   (data: ``batch``, ``kv``, ``seconds``, ``used_tokens``,
   ``token_budget``, ``live``).
 - ``PREEMPT``      — a request was evicted mid-decode to reclaim KV
-  budget and requeued for recompute.
+  budget and requeued for recompute (data includes ``requeued_at``,
+  the epoch its next queue delay is measured from).
 - ``FINISH``       — a request completed (data: ``arrival``,
-  ``first_token``, ``generated``).
+  ``first_token``, ``generated``, plus ``ttft_deadline`` /
+  ``tbot_target`` when set, with ``ttft_miss=1`` / ``tbot_miss=1``
+  flagging violated SLOs inline in the rendered timeline).
 - ``REJECT``       — a request could never fit and was dropped
-  (data: ``need``, ``token_budget``).
+  (data: ``need``, ``token_budget``; mid-decode drops also carry
+  ``generated``, the tokens emitted before the drop).
 
 :func:`request_latencies` folds a trace back into per-request E2E
 latencies; they match ``SimulationResult.e2e`` exactly, which is the
@@ -123,9 +130,15 @@ def request_latencies(trace: Trace) -> Dict[str, float]:
 
 
 def queue_delays(trace: Trace) -> Dict[str, float]:
-    """Per-request queue delay (admit time minus arrival)."""
+    """Per-request queue delay (admit time minus the (re)queue epoch).
+
+    Each admission is measured from ``queued_at`` — the arrival for a
+    fresh request, the preemption instant for a re-admission — so a
+    preempted request's second wait is not double-counted from its
+    original arrival.  The last ADMIT wins, matching
+    ``ServingRequest.queue_delay`` exactly.
+    """
     out: Dict[str, float] = {}
     for e in trace.of_kind(EventType.ADMIT):
-        # last ADMIT wins: a preempted request re-queues and re-admits
-        out[e.request_id] = e.time - e.data["arrival"]
+        out[e.request_id] = e.time - e.data.get("queued_at", e.data["arrival"])
     return out
