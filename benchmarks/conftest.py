@@ -10,6 +10,7 @@ Set ``REPRO_SCALE=full`` for paper-scale runs (slower).
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -30,5 +31,23 @@ def record_result(results_dir):
     def _record(result, slug: str) -> None:
         path = results_dir / f"{slug}.txt"
         path.write_text(result.render() + "\n")
+
+    return _record
+
+
+@pytest.fixture()
+def record_bench_json(results_dir):
+    """Merge one benchmark's metrics into results/BENCH_serving.json.
+
+    Each serving benchmark contributes a section keyed by its slug, so
+    the file accumulates a machine-readable view (throughput, TTFT,
+    attainment, prefix hit-rate) across the whole benchmark run.
+    """
+
+    def _record(section: str, payload) -> None:
+        path = results_dir / "BENCH_serving.json"
+        data = json.loads(path.read_text()) if path.exists() else {}
+        data[section] = payload
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
     return _record

@@ -52,7 +52,7 @@ def _stream(n=64, seed=7, rps=8.0):
 
 
 def _policy_rows():
-    rows = []
+    rows, raw = [], []
     for policy in ("fcfs", "shortest", "priority"):
         for admission in ("reserve", "dynamic"):
             inst = _instance(
@@ -72,7 +72,18 @@ def _policy_rows():
                     str(m.preempts),
                 ]
             )
-    return rows
+            raw.append(
+                {
+                    "policy": policy,
+                    "admission": admission,
+                    "mean_e2e": res.mean_e2e(),
+                    "p99_e2e": res.percentile_e2e(99),
+                    "goodput": m.goodput,
+                    "mean_queue_delay": m.mean_queue_delay,
+                    "preempts": m.preempts,
+                }
+            )
+    return rows, raw
 
 
 def _routing_rows():
@@ -99,7 +110,7 @@ def _routing_rows():
     return rows
 
 
-def test_serving_core(benchmark, record_result):
+def test_serving_core(benchmark, record_result, record_bench_json):
     def build():
         res = ExperimentResult(
             name="Serving core — scheduler policies and routing modes",
@@ -109,11 +120,13 @@ def test_serving_core(benchmark, record_result):
                 "offline vs online load-balance routing."
             ),
         )
+        policy_rows, policy_raw = _policy_rows()
+        res.data["raw"] = policy_raw
         res.tables.append(
             format_table(
                 ["policy", "admission", "mean e2e", "p99",
                  "occupancy", "queue (ms)", "preempts"],
-                _policy_rows(),
+                policy_rows,
                 title="Single instance:",
             )
         )
@@ -128,11 +141,12 @@ def test_serving_core(benchmark, record_result):
 
     res = benchmark.pedantic(build, rounds=1, iterations=1)
     record_result(res, "serving_core")
+    record_bench_json("serving_core", {"policies": res.data["raw"]})
     # every policy/admission combo served the whole stream
     assert len(res.tables) == 2
 
 
-def test_chunked_prefill(benchmark, record_result):
+def test_chunked_prefill(benchmark, record_result, record_bench_json):
     """Chunked prefill cuts the decode-stall tail at equal throughput."""
     from repro.experiments import chunked_prefill
 
@@ -140,6 +154,7 @@ def test_chunked_prefill(benchmark, record_result):
         chunked_prefill.run, rounds=1, iterations=1
     )
     record_result(res, "serving_chunked")
+    record_bench_json("serving_chunked", {"chunks": res.data["raw"]})
     by_chunk = {r["chunk"]: r for r in res.data["raw"]}
     off, chunked = by_chunk[None], by_chunk[512]
     # acceptance criterion: >=2x smaller max inter-DECODE_STEP gap at

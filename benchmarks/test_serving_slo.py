@@ -4,13 +4,17 @@ interference, plus load-balance vs SLO-slack online routing."""
 import pytest
 
 
-def test_slo_admission(benchmark, record_result):
+def test_slo_admission(benchmark, record_result, record_bench_json):
     """The slo policy strictly beats FCFS on TTFT-SLO attainment at
     equal offered load (the PR's acceptance criterion)."""
     from repro.experiments import slo_admission
 
     res = benchmark.pedantic(slo_admission.run, rounds=1, iterations=1)
     record_result(res, "serving_slo")
+    record_bench_json(
+        "serving_slo",
+        {"policies": res.data["raw"], "routing": res.data["routing_raw"]},
+    )
     by_policy = {r["policy"]: r for r in res.data["raw"]}
     fcfs, slo = by_policy["fcfs"], by_policy["slo"]
     # acceptance criterion: strictly higher TTFT-SLO attainment

@@ -26,6 +26,7 @@ from typing import Callable, Dict
 from repro.core.config import current_scale
 from repro.experiments import (
     chunked_prefill,
+    prefix_caching,
     slo_admission,
     fig1_throughput,
     fig2_h800,
@@ -49,6 +50,7 @@ _ANALYTIC = {
     "table3": lambda scale: table3_tp.run(),
     "chunked": lambda scale: chunked_prefill.run(),
     "slo": lambda scale: slo_admission.run(),
+    "prefix": lambda scale: prefix_caching.run(),
 }
 
 _GENERATION = {
@@ -77,6 +79,7 @@ def run_trace(args) -> int:
     from repro.model.arch import get_arch
     from repro.serving import (
         LatencySummary,
+        PrefixIndex,
         ServerInstance,
         ServingRequest,
         StepMetrics,
@@ -94,11 +97,22 @@ def run_trace(args) -> int:
         scheduler=make_policy(args.policy),
         admission=args.admission,
         chunk_size=args.chunk_size,
+        prefix_cache=PrefixIndex() if args.prefix_caching else None,
     )
     rng = np.random.default_rng(args.seed)
     arrivals = np.cumsum(rng.exponential(1.0 / args.rps, size=args.n))
     prompts = rng.integers(64, 1024, size=args.n)
     resps = rng.integers(8, 256, size=args.n)
+
+    def token_ids(i: int, length: int):
+        # every prompt opens with the same synthetic system prompt, so
+        # later arrivals hit the prefix cache on its full blocks
+        if not args.prefix_caching:
+            return None
+        shared = range(50_000, 50_000 + 256)
+        unique = range(i * 10_000, i * 10_000 + length)
+        return tuple([*shared, *unique][:length])
+
     reqs = [
         ServingRequest(
             request_id=f"r{i}",
@@ -107,6 +121,7 @@ def run_trace(args) -> int:
             response_len=int(resps[i]),
             ttft_deadline=args.ttft_slo,
             tbot_target=args.tbot_slo,
+            token_ids=token_ids(i, int(prompts[i])),
         )
         for i in range(args.n)
     ]
@@ -119,10 +134,11 @@ def run_trace(args) -> int:
             f", SLO ttft<={args.ttft_slo or 'off'}s"
             f" tbot<={args.tbot_slo or 'off'}s"
         )
+    prefix = ", prefix caching on" if args.prefix_caching else ""
     lines = [
         f"{args.n} requests @ {args.rps:.1f} req/s on {args.algo}/{args.engine} "
         f"({args.policy} scheduler, {args.admission} admission, "
-        f"chunked prefill {chunk}, token budget {inst.token_budget}{slo})",
+        f"chunked prefill {chunk}, token budget {inst.token_budget}{slo}{prefix})",
         "",
         trace.render_timeline(limit=args.limit),
         "",
@@ -182,6 +198,10 @@ def main(argv=None) -> int:
     tracep.add_argument("--tbot-slo", type=float, default=None,
                         help="per-request TBOT target in seconds/token "
                              "(FINISH events flag tbot_miss=1 inline)")
+    tracep.add_argument("--prefix-caching", action="store_true",
+                        help="attach a prefix index; the synthetic "
+                             "prompts share a 256-token system prompt "
+                             "so warm arrivals log PREFIX_HIT events")
     tracep.add_argument("--seed", type=int, default=0)
     tracep.add_argument("--limit", type=int, default=None,
                         help="cap the number of timeline lines printed")

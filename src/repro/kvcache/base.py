@@ -23,6 +23,7 @@ class StoreStats:
     live_tokens: int         # tokens actually retained
     capacity_tokens: int     # total store capacity
     copied_tokens: int       # tokens moved by reallocation so far
+    cached_tokens: int = 0   # unreferenced tokens retained for prefix reuse
 
     @property
     def internal_fragmentation(self) -> float:

@@ -1,145 +1,415 @@
-"""PagedAttention-style block manager.
+"""PagedAttention-style block manager with automatic prefix caching.
 
 KV storage is carved into fixed-size blocks handed to sequences on
 demand and tracked through per-sequence block tables — vLLM/LMDeploy's
 design.  Growth never copies; memory returns on free.
 
-The subtlety the paper highlights (Section 3.1.2): PagedAttention
-assumes cache length grows monotonically.  Sparse eviction punches holes
-into blocks, and a block is only reclaimable when *every* slot in it is
-dead — so sparsity-induced "free" memory shows up as internal
-fragmentation until whole blocks drain.  ``compact_sequence`` models the
-explicit compaction (gather-copy) an implementation must run to get that
-memory back, at the cost of copied tokens.
+With ``prefix_caching=True`` the store is *content-addressed* the way
+vLLM's automatic prefix caching and SGLang's RadixAttention are: every
+full block whose token ids are known gets a chained hash (its content
+plus the hash of the block before it), ref-counted sharing lets a new
+sequence adopt another sequence's identical prompt prefix without
+allocating or copying, and blocks whose last reference drops are
+*retained* in an LRU pool so a later identical prompt still hits.  The
+LRU pool is reclaimed on demand when the free list runs dry, so caching
+never shrinks usable capacity.
+
+Two subtleties the paper highlights (Section 3.1.2) are modelled
+explicitly:
+
+- Sparse eviction punches holes into blocks, and a block is only
+  reclaimable when *every* slot in it is dead — sparsity-induced "free"
+  memory shows up as internal fragmentation until whole blocks drain.
+  ``compact_sequence`` models the explicit gather-copy an implementation
+  must run to get that memory back, at the cost of copied tokens.
+- Compression breaks shareability: a block touched by sparse eviction
+  (``evict``) or in-place quantization (``mark_mutated``) diverges from
+  the content its hash promises, so its hash is invalidated — and if the
+  block is shared, the mutating sequence first gets a private
+  copy-on-write duplicate (counted in ``copied_tokens``) so other
+  holders keep the pristine prefix.  Compressed KV therefore never
+  participates in prefix reuse, exactly the friction between
+  compression and paged sharing the paper describes.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.kvcache.base import CapacityError, KVCacheStore, StoreStats
+
+#: chained content key of one full block: (previous block's key, token ids)
+BlockKey = Tuple[Optional[tuple], Tuple[int, ...]]
 
 
 @dataclass
 class _Block:
-    """One fixed-size block: which slots are live."""
+    """One fixed-size block: live slots, sharing state, content hash."""
 
     live_slots: Set[int] = field(default_factory=set)
     used_slots: int = 0  # high-water mark of appended slots
+    ref_count: int = 1
+    key: Optional[BlockKey] = None  # set only for full, unmutated blocks
 
 
 @dataclass
 class _PagedSeq:
     blocks: List[int] = field(default_factory=list)
     length: int = 0
+    live: int = 0  # running live-slot count (this sequence's view)
+    #: chained keys of the leading full blocks (for hash-chain extension)
+    chain: List[BlockKey] = field(default_factory=list)
+    #: token ids in the open tail block; ``None`` once the chain is broken
+    tail_ids: Optional[List[int]] = field(default_factory=list)
 
 
 class PagedStore(KVCacheStore):
-    """Fixed-block allocator with block tables and hole tracking."""
+    """Fixed-block allocator with block tables, hole tracking, and
+    optional content-addressed prefix sharing."""
 
-    def __init__(self, capacity_tokens: int, block_size: int = 16) -> None:
+    def __init__(
+        self,
+        capacity_tokens: int,
+        block_size: int = 16,
+        prefix_caching: bool = False,
+    ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be positive")
         if capacity_tokens < block_size:
             raise ValueError("capacity must hold at least one block")
         self.block_size = block_size
         self.n_blocks = capacity_tokens // block_size
+        self.prefix_caching = prefix_caching
         self._free: List[int] = list(range(self.n_blocks))
         self._blocks: Dict[int, _Block] = {}
         self._seqs: Dict[str, _PagedSeq] = {}
         self._copied = 0
+        # running counters (stats() never recounts; see recount_stats())
+        self._live = 0  # live slots across referenced (ref_count>0) blocks
+        # content-addressed state
+        self._index: Dict[BlockKey, int] = {}  # block key -> block id
+        self._lru: "OrderedDict[int, None]" = OrderedDict()  # cached, ref==0
+        self.prefix_hits = 0
+        self.reused_tokens = 0
+        self.cached_block_evictions = 0
 
     # ------------------------------------------------------------------
+    # block lifecycle
+    # ------------------------------------------------------------------
     def _alloc_block(self) -> int:
+        if not self._free and self._lru:
+            # reclaim the least-recently-released cached block
+            old, _ = self._lru.popitem(last=False)
+            blk = self._blocks.pop(old)
+            del self._index[blk.key]
+            self._free.append(old)
+            self.cached_block_evictions += 1
         if not self._free:
             raise CapacityError("no free blocks")
         bid = self._free.pop()
         self._blocks[bid] = _Block()
         return bid
 
-    def _release_block(self, bid: int) -> None:
-        del self._blocks[bid]
-        self._free.append(bid)
+    def _decref(self, bid: int) -> None:
+        """Drop one reference; retain hashed blocks in the LRU pool."""
+        blk = self._blocks[bid]
+        blk.ref_count -= 1
+        if blk.ref_count > 0:
+            return
+        self._live -= len(blk.live_slots)
+        if blk.key is not None:
+            self._lru[bid] = None  # cached for future prefix hits
+        else:
+            del self._blocks[bid]
+            self._free.append(bid)
+
+    def _share(self, bid: int, seq: _PagedSeq) -> None:
+        """Add an existing (possibly cached) block to a sequence."""
+        blk = self._blocks[bid]
+        if blk.ref_count == 0:
+            del self._lru[bid]  # revived from the cached pool
+            self._live += len(blk.live_slots)
+        blk.ref_count += 1
+        seq.blocks.append(bid)
+        seq.length += self.block_size
+        seq.live += self.block_size
+
+    def _unhash(self, bid: int) -> None:
+        blk = self._blocks[bid]
+        if blk.key is not None:
+            self._index.pop(blk.key, None)
+            blk.key = None
+
+    def _privatize(self, seq: _PagedSeq, block_idx: int) -> int:
+        """Copy-on-write: give ``seq`` a private copy of a shared block."""
+        old_bid = seq.blocks[block_idx]
+        old = self._blocks[old_bid]
+        new_bid = self._alloc_block()
+        new = self._blocks[new_bid]
+        new.live_slots = set(old.live_slots)
+        new.used_slots = old.used_slots
+        seq.blocks[block_idx] = new_bid
+        copied = len(new.live_slots)
+        self._live += copied
+        self._copied += copied
+        self._decref(old_bid)
+        return new_bid
 
     def _append_slots(self, seq: _PagedSeq, n: int) -> None:
-        for _ in range(n):
-            slot = seq.length % self.block_size
+        """Bulk-fill ``n`` slots: whole blocks at a time, O(blocks)."""
+        bs = self.block_size
+        while n > 0:
+            slot = seq.length % bs
             if slot == 0:
                 seq.blocks.append(self._alloc_block())
             blk = self._blocks[seq.blocks[-1]]
-            blk.live_slots.add(slot)
-            blk.used_slots = max(blk.used_slots, slot + 1)
-            seq.length += 1
+            take = min(n, bs - slot)
+            blk.live_slots.update(range(slot, slot + take))
+            blk.used_slots = max(blk.used_slots, slot + take)
+            seq.length += take
+            seq.live += take
+            self._live += take
+            n -= take
 
     # ------------------------------------------------------------------
-    def add_sequence(self, seq_id: str, prompt_tokens: int) -> None:
+    # content addressing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _block_keys(
+        ids: Tuple[int, ...], block_size: int
+    ) -> List[BlockKey]:
+        """Chained keys of every *full* block covering ``ids``."""
+        keys: List[BlockKey] = []
+        prev: Optional[tuple] = None
+        for i in range(len(ids) // block_size):
+            key: BlockKey = (prev, ids[i * block_size:(i + 1) * block_size])
+            keys.append(key)
+            prev = key
+        return keys
+
+    def cached_prefix(self, token_ids: Sequence[int]) -> int:
+        """Tokens of ``token_ids`` resident as cached full blocks.
+
+        Pure query: no reference counts change and LRU order is
+        untouched (routers probe every instance per arrival).
+        """
+        if not self.prefix_caching:
+            return 0
+        ids = tuple(int(t) for t in token_ids)
+        matched = 0
+        for key in self._block_keys(ids, self.block_size):
+            if key not in self._index:
+                break
+            matched += self.block_size
+        return matched
+
+    def _register(self, seq: _PagedSeq, block_idx: int, key: BlockKey) -> None:
+        """Hash a freshly-filled full block (idempotent on collisions)."""
+        bid = seq.blocks[block_idx]
+        if key not in self._index:
+            self._blocks[bid].key = key
+            self._index[key] = bid
+
+    # ------------------------------------------------------------------
+    # sequence API
+    # ------------------------------------------------------------------
+    def add_sequence(
+        self,
+        seq_id: str,
+        prompt_tokens: int,
+        token_ids: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Reserve storage for a new sequence; returns tokens *reused*
+        from the prefix cache (always 0 without ``prefix_caching`` or
+        ``token_ids``)."""
         if seq_id in self._seqs:
             raise KeyError(f"sequence {seq_id!r} already present")
         if prompt_tokens < 1:
             raise ValueError("prompt_tokens must be positive")
         seq = _PagedSeq()
+        reused = 0
         try:
-            self._append_slots(seq, prompt_tokens)
+            if self.prefix_caching and token_ids is not None:
+                ids = tuple(int(t) for t in token_ids)
+                if len(ids) != prompt_tokens:
+                    raise ValueError(
+                        "token_ids must cover exactly prompt_tokens"
+                    )
+                keys = self._block_keys(ids, self.block_size)
+                for key in keys:
+                    bid = self._index.get(key)
+                    if bid is None:
+                        break
+                    self._share(bid, seq)
+                    reused += self.block_size
+                self._append_slots(seq, prompt_tokens - seq.length)
+                # hash the freshly-filled full blocks so later arrivals hit
+                for i in range(reused // self.block_size, len(keys)):
+                    self._register(seq, i, keys[i])
+                seq.chain = keys
+                seq.tail_ids = list(ids[len(keys) * self.block_size:])
+            else:
+                self._append_slots(seq, prompt_tokens)
+                seq.tail_ids = None  # unknown content: chain never starts
         except CapacityError:
             for bid in seq.blocks:
-                self._release_block(bid)
+                self._decref(bid)
             raise
         self._seqs[seq_id] = seq
+        if reused:
+            self.prefix_hits += 1
+            self.reused_tokens += reused
+        return reused
 
-    def append(self, seq_id: str, n_tokens: int = 1) -> None:
-        self._append_slots(self._seqs[seq_id], n_tokens)
+    def append(
+        self,
+        seq_id: str,
+        n_tokens: int = 1,
+        token_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Extend a sequence; with ``token_ids`` (one id per appended
+        token) the hash chain keeps growing, so decode output becomes a
+        cacheable prefix for the next conversation turn."""
+        seq = self._seqs[seq_id]
+        self._append_slots(seq, n_tokens)
+        if not self.prefix_caching or seq.tail_ids is None:
+            return
+        if token_ids is None or len(token_ids) != n_tokens:
+            seq.tail_ids = None  # content unknown from here on
+            return
+        seq.tail_ids.extend(int(t) for t in token_ids)
+        bs = self.block_size
+        while len(seq.tail_ids) >= bs:
+            prev = seq.chain[-1] if seq.chain else None
+            key: BlockKey = (prev, tuple(seq.tail_ids[:bs]))
+            self._register(seq, len(seq.chain), key)
+            seq.chain.append(key)
+            del seq.tail_ids[:bs]
+
+    def _mutate(
+        self, seq_id: str, positions: List[int], punch_hole: bool
+    ) -> None:
+        seq = self._seqs[seq_id]
+        bs = self.block_size
+        for pos in positions:
+            if not 0 <= pos < seq.length:
+                raise ValueError(f"position {pos} out of range")
+            b = pos // bs
+            bid = seq.blocks[b]
+            blk = self._blocks[bid]
+            if blk.ref_count > 1:
+                # shared: mutate a private copy, leave peers pristine
+                bid = self._privatize(seq, b)
+                blk = self._blocks[bid]
+            else:
+                self._unhash(bid)  # content diverges: no longer shareable
+            if b < len(seq.chain):
+                del seq.chain[b:]
+            seq.tail_ids = None  # chain can never be extended again
+            if punch_hole:
+                slot = pos % bs
+                if slot in blk.live_slots:
+                    blk.live_slots.discard(slot)
+                    self._live -= 1
+                    seq.live -= 1
 
     def evict(self, seq_id: str, positions: List[int]) -> None:
-        """Mark slots dead.
+        """Mark slots dead (sparse eviction).
 
         Dead blocks are *not* auto-reclaimed: the position -> block
         mapping must stay stable for future appends and evictions, so
         memory only returns via :meth:`compact_sequence` or :meth:`free`
         — precisely the management friction between sparse eviction and
-        PagedAttention the paper describes.
+        PagedAttention the paper describes.  An evicted block loses its
+        content hash (it no longer stores what the hash promises), and a
+        *shared* block is copy-on-write duplicated first so other
+        sequences keep the unmutated prefix.
         """
-        seq = self._seqs[seq_id]
-        for pos in positions:
-            if not 0 <= pos < seq.length:
-                raise ValueError(f"position {pos} out of range")
-            bid = seq.blocks[pos // self.block_size]
-            self._blocks[bid].live_slots.discard(pos % self.block_size)
+        self._mutate(seq_id, positions, punch_hole=True)
+
+    def mark_mutated(self, seq_id: str, positions: List[int]) -> None:
+        """Record in-place mutation (e.g. quantization write-back) of
+        the given positions: the touched blocks keep their slots but
+        lose shareability — hash invalidated, shared blocks privatized
+        via copy-on-write.  This is the explicit compression/prefix-
+        caching friction of the paper's Section 3.1.2."""
+        self._mutate(seq_id, positions, punch_hole=False)
 
     def compact_sequence(self, seq_id: str) -> int:
-        """Gather live tokens into dense blocks; returns tokens copied."""
+        """Gather live tokens into dense blocks; returns tokens copied.
+
+        Compaction rewrites the layout, so the compacted sequence's
+        blocks are unhashed (their content no longer aligns with any
+        token-id block boundary); shared blocks are merely de-referenced
+        and survive for their other holders.
+        """
         seq = self._seqs[seq_id]
-        live = sum(
-            len(self._blocks[bid].live_slots) for bid in seq.blocks
-        )
+        live = seq.live
         for bid in seq.blocks:
-            self._release_block(bid)
-        new_seq = _PagedSeq()
-        self._append_slots(new_seq, live)
-        seq.blocks = new_seq.blocks
-        seq.length = new_seq.length
+            self._decref(bid)
+        seq.blocks = []
+        seq.length = 0
+        seq.live = 0
+        seq.chain = []
+        seq.tail_ids = None
+        self._append_slots(seq, live)
         self._copied += live
         return live
 
     def free(self, seq_id: str) -> None:
+        """Release a sequence.  Hashed blocks whose last reference drops
+        are retained in the LRU cached pool for future prefix hits."""
         seq = self._seqs.pop(seq_id)
         for bid in seq.blocks:
-            self._release_block(bid)
+            self._decref(bid)
 
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
     def sequence_tokens(self, seq_id: str) -> int:
-        seq = self._seqs[seq_id]
-        return sum(len(self._blocks[bid].live_slots) for bid in seq.blocks)
+        return self._seqs[seq_id].live
 
     def sequence_blocks(self, seq_id: str) -> int:
         """Blocks currently held by a sequence."""
         return len(self._seqs[seq_id].blocks)
 
+    def block_ref_count(self, seq_id: str, block_idx: int) -> int:
+        """Reference count of one of a sequence's blocks."""
+        return self._blocks[self._seqs[seq_id].blocks[block_idx]].ref_count
+
+    @property
+    def cached_blocks(self) -> int:
+        """Unreferenced blocks retained for prefix reuse."""
+        return len(self._lru)
+
     def stats(self) -> StoreStats:
-        allocated = len(self._blocks) * self.block_size
-        live = sum(len(b.live_slots) for b in self._blocks.values())
         return StoreStats(
-            allocated_tokens=allocated,
+            allocated_tokens=len(self._blocks) * self.block_size,
+            live_tokens=self._live,
+            capacity_tokens=self.n_blocks * self.block_size,
+            copied_tokens=self._copied,
+            cached_tokens=len(self._lru) * self.block_size,
+        )
+
+    def recount_stats(self) -> StoreStats:
+        """Slow recount from the block tables (test oracle for the
+        running counters maintained by :meth:`stats`)."""
+        live = sum(
+            len(b.live_slots)
+            for b in self._blocks.values()
+            if b.ref_count > 0
+        )
+        return StoreStats(
+            allocated_tokens=len(self._blocks) * self.block_size,
             live_tokens=live,
             capacity_tokens=self.n_blocks * self.block_size,
             copied_tokens=self._copied,
+            cached_tokens=len(self._lru) * self.block_size,
         )
+
+    def recount_sequence_tokens(self, seq_id: str) -> int:
+        """Slow per-sequence live recount (test oracle)."""
+        seq = self._seqs[seq_id]
+        return sum(len(self._blocks[bid].live_slots) for bid in seq.blocks)

@@ -30,6 +30,15 @@ from repro.model.tokenizer import SyntheticTokenizer
 #: soft cap on score-matrix elements per attention chunk
 _CHUNK_ELEMENTS = 8_000_000
 
+#: FP16 prefill processes prompts in blocks of this many positions,
+#: aligned to absolute position.  Alignment makes every block's K/V a
+#: fixed-shape function of its prefix tokens, so a warm prefill that
+#: resumes at a block boundary replays bit-identical computations —
+#: BLAS matmul rounding depends on operand shapes, so unaligned resume
+#: points would drift by ULPs.  This is also the reuse granularity of
+#: prefix caching (real engines reuse whole KV blocks the same way).
+PREFILL_BLOCK = 64
+
 
 class FlashIncompatibilityError(RuntimeError):
     """Raised when a probs-requiring compressor meets flash attention."""
@@ -43,14 +52,18 @@ class FunctionalTransformer:
         config: FunctionalModelConfig,
         weights: Optional[ModelWeights] = None,
         attention_impl: str = "naive",
+        prefill_block: int = PREFILL_BLOCK,
     ) -> None:
         if attention_impl not in ("naive", "flash"):
             raise ValueError("attention_impl must be 'naive' or 'flash'")
+        if prefill_block < 1:
+            raise ValueError("prefill_block must be positive")
         self.config = config
         self.weights = weights if weights is not None else build_weights(config)
         self.biases = head_biases(config)
         self.tokenizer = SyntheticTokenizer(config.vocab_size)
         self.attention_impl = attention_impl
+        self.prefill_block = prefill_block
 
     # ------------------------------------------------------------------
     def new_cache(self, batch: int, seq_start: np.ndarray) -> SessionCache:
@@ -143,6 +156,20 @@ class FunctionalTransformer:
         return x
 
     # ------------------------------------------------------------------
+    def _prefill_span(
+        self,
+        tokens: np.ndarray,
+        cache: SessionCache,
+        compressor,
+    ) -> np.ndarray:
+        """One contiguous prefill span starting at ``cache.length``."""
+        b, L = tokens.shape
+        x = self.embed(tokens)
+        q_pos = np.arange(cache.length, cache.length + L)
+        for li in range(self.config.n_layers):
+            x = self._layer_forward(li, x, cache, q_pos, compressor, "prefill")
+        return self.logits(x[:, -1])
+
     def prefill(
         self,
         tokens: np.ndarray,
@@ -151,14 +178,33 @@ class FunctionalTransformer:
     ) -> np.ndarray:
         """Run the prompt through the model; returns last-position logits.
 
-        ``tokens`` is (batch, prompt_len), already left-padded.
+        ``tokens`` is (batch, prompt_len), already left-padded.  When the
+        cache has been pre-seeded with a reused prefix (prefix caching),
+        ``tokens`` holds only the uncached suffix and query positions
+        continue from ``cache.length``.
+
+        The FP16 path (no compressor) computes in position-aligned
+        blocks of ``prefill_block`` tokens so each block's K/V is a
+        fixed-shape, bit-reproducible function of its prefix — the
+        property that makes warm prefill from a block-aligned reused
+        prefix logit-exact versus a cold recompute.  Compressed prefill
+        stays single-shot: compressors hook once per layer per prefill,
+        and compressed K/V is never shared anyway.
         """
-        b, L = tokens.shape
-        x = self.embed(tokens)
-        q_pos = np.arange(L)
-        for li in range(self.config.n_layers):
-            x = self._layer_forward(li, x, cache, q_pos, compressor, "prefill")
-        return self.logits(x[:, -1])
+        if compressor is not None:
+            return self._prefill_span(tokens, cache, compressor)
+        start = cache.length
+        total = tokens.shape[1]
+        bs = self.prefill_block
+        logits = None
+        pos = start
+        while pos < start + total:
+            end = min((pos // bs + 1) * bs, start + total)
+            logits = self._prefill_span(
+                tokens[:, pos - start:end - start], cache, None
+            )
+            pos = end
+        return logits
 
     def decode_step(
         self,

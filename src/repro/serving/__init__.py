@@ -3,6 +3,7 @@
 from repro.serving.cluster import Cluster, InstanceView
 from repro.serving.events import EventLoop
 from repro.serving.metrics import LatencySummary, StepMetrics, cdf, tbot
+from repro.serving.prefix import PrefixIndex
 from repro.serving.request import ServingRequest
 from repro.serving.router import (
     RoutedRequest,
@@ -35,6 +36,7 @@ __all__ = [
     "StepMetrics",
     "cdf",
     "tbot",
+    "PrefixIndex",
     "ServingRequest",
     "RoutedRequest",
     "Router",

@@ -27,6 +27,11 @@ class LatencySummary:
     tokens per second — tokens from requests that met every SLO target
     they set, divided by the stream's makespan (plain throughput when
     the stream is deadline-free).
+
+    ``prefix_hit_rate`` (fraction of served requests whose admission
+    reused cached prefix KV) and ``cached_prefix_tokens`` (total tokens
+    reused) appear only when some request actually hit the prefix
+    cache, so summaries of prefix-free runs are unchanged.
     """
 
     mean: float
@@ -39,6 +44,8 @@ class LatencySummary:
     ttft_attainment: Optional[float] = None
     tbot_attainment: Optional[float] = None
     goodput: Optional[float] = None
+    prefix_hit_rate: Optional[float] = None
+    cached_prefix_tokens: Optional[int] = None
 
     @staticmethod
     def from_samples(samples: Sequence[float]) -> "LatencySummary":
@@ -83,6 +90,8 @@ class LatencySummary:
         attained = sum(
             r.generated for r in served if getattr(r, "slo_met", True)
         )
+        cached = [getattr(r, "cached_prefix", 0) for r in served]
+        any_hit = any(c > 0 for c in cached)
         return LatencySummary(
             mean=base.mean,
             p50=base.p50,
@@ -100,6 +109,10 @@ class LatencySummary:
                 if with_tbot else None
             ),
             goodput=attained / span if span > 0 else 0.0,
+            prefix_hit_rate=(
+                sum(c > 0 for c in cached) / len(served) if any_hit else None
+            ),
+            cached_prefix_tokens=sum(cached) if any_hit else None,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -121,6 +134,10 @@ class LatencySummary:
             out["tbot_attainment"] = self.tbot_attainment
         if self.goodput is not None:
             out["goodput"] = self.goodput
+        if self.prefix_hit_rate is not None:
+            out["prefix_hit_rate"] = self.prefix_hit_rate
+        if self.cached_prefix_tokens is not None:
+            out["cached_prefix_tokens"] = self.cached_prefix_tokens
         return out
 
 
@@ -150,6 +167,10 @@ class StepMetrics:
     ttft_attainment: float
     tbot_attainment: float
     goodput: float
+    prefix_hits: int
+    prefix_cached_tokens: int
+    prefix_saved_seconds: float
+    prefix_hit_rate: float
 
     @staticmethod
     def from_trace(trace: Trace) -> "StepMetrics":
@@ -175,6 +196,11 @@ class StepMetrics:
         finished requests meeting their SLO targets (1.0 when the trace
         carries none), and ``goodput`` is attained tokens per second
         over the stream's makespan.
+
+        ``prefix_hits`` / ``prefix_cached_tokens`` /
+        ``prefix_saved_seconds`` fold the PREFIX_HIT events (reused-KV
+        admissions and the single-shot prefill time they avoided);
+        ``prefix_hit_rate`` is hits over admissions.
         """
         steps = trace.of_kind(EventType.DECODE_STEP)
         secs = np.array([e.data["seconds"] for e in steps], dtype=float)
@@ -225,6 +251,7 @@ class StepMetrics:
             - min(e.data["arrival"] for e in finishes)
             if finishes else 0.0
         )
+        hits = trace.of_kind(EventType.PREFIX_HIT)
         return StepMetrics(
             decode_steps=len(steps),
             admits=len(admits),
@@ -252,6 +279,12 @@ class StepMetrics:
                 if with_tbot else 1.0
             ),
             goodput=attained / span if span > 0 else 0.0,
+            prefix_hits=len(hits),
+            prefix_cached_tokens=int(sum(e.data["cached"] for e in hits)),
+            prefix_saved_seconds=float(
+                sum(e.data["saved_seconds"] for e in hits)
+            ),
+            prefix_hit_rate=len(hits) / len(admits) if admits else 0.0,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -275,6 +308,10 @@ class StepMetrics:
             "ttft_attainment": self.ttft_attainment,
             "tbot_attainment": self.tbot_attainment,
             "goodput": self.goodput,
+            "prefix_hits": self.prefix_hits,
+            "prefix_cached_tokens": self.prefix_cached_tokens,
+            "prefix_saved_seconds": self.prefix_saved_seconds,
+            "prefix_hit_rate": self.prefix_hit_rate,
         }
 
     def render(self) -> str:

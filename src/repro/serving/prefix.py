@@ -1,0 +1,105 @@
+"""Content-addressed prefix index of the serving simulator.
+
+The simulator prices time, not tensors, so the serving-level prefix
+cache tracks *which* KV blocks an instance holds, keyed the same way
+:class:`~repro.kvcache.paged.PagedStore` keys physical blocks: each
+full block of ``block_size`` token ids gets a chained key (its own ids
+plus the key of the block before it), making a cached prefix exactly a
+chain of matching keys.  Admission asks "how many prompt tokens are
+already resident?" and prices only the uncached suffix via
+``ServingCostModel.prefill_chunk``; a cache-affinity router asks the
+same question on every instance (:meth:`peek` — no statistics, no LRU
+touch) to steer a conversation back to the instance holding its
+history.
+
+Capacity is bounded in blocks with LRU eviction, mirroring the
+unreferenced-block retention pool of :class:`PagedStore`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence, Tuple
+
+#: chained content key of one full block: (previous block's key, token ids)
+BlockKey = Tuple[Optional[tuple], Tuple[int, ...]]
+
+
+class PrefixIndex:
+    """LRU set of cached KV-block keys for one serving instance."""
+
+    def __init__(self, block_size: int = 16, capacity_blocks: int = 4096) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        if capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be positive")
+        self.block_size = block_size
+        self.capacity_blocks = capacity_blocks
+        self._blocks: "OrderedDict[BlockKey, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evicted_blocks = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def _keys(self, token_ids: Sequence[int]) -> "list[BlockKey]":
+        ids = tuple(int(t) for t in token_ids)
+        keys = []
+        prev: Optional[tuple] = None
+        for i in range(len(ids) // self.block_size):
+            key: BlockKey = (prev, ids[i * self.block_size:(i + 1) * self.block_size])
+            keys.append(key)
+            prev = key
+        return keys
+
+    def peek(self, token_ids: Sequence[int]) -> int:
+        """Cached-prefix length in tokens; pure (no stats, no LRU touch).
+
+        Routers probe every instance per arrival — a probe must not
+        refresh recency or skew hit-rate accounting on instances that
+        don't receive the request.
+        """
+        matched = 0
+        for key in self._keys(token_ids):
+            if key not in self._blocks:
+                break
+            matched += self.block_size
+        return matched
+
+    def lookup(self, token_ids: Sequence[int]) -> int:
+        """Cached-prefix length for an admission: counts hit/miss and
+        refreshes the matched blocks' LRU recency."""
+        matched = 0
+        for key in self._keys(token_ids):
+            if key not in self._blocks:
+                break
+            self._blocks.move_to_end(key)
+            matched += self.block_size
+        if matched:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return matched
+
+    def insert(self, token_ids: Sequence[int]) -> int:
+        """Register every full block of ``token_ids`` as resident;
+        returns blocks newly added.  Oldest blocks fall off LRU when
+        capacity is exceeded."""
+        added = 0
+        for key in self._keys(token_ids):
+            if key in self._blocks:
+                self._blocks.move_to_end(key)
+            else:
+                self._blocks[key] = None
+                added += 1
+        while len(self._blocks) > self.capacity_blocks:
+            self._blocks.popitem(last=False)
+            self.evicted_blocks += 1
+        return added
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that matched at least one block."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

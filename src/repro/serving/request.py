@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 
 @dataclass
@@ -33,6 +33,13 @@ class ServingRequest:
     queue — its arrival for a fresh request, the preemption instant for
     a requeued one — so ``queue_delay`` measures the *last* wait, not
     time since the original arrival.
+
+    ``token_ids`` optionally carries the prompt's token ids (length
+    ``prompt_len``): prefix caching is content-addressed, so an
+    instance with a :class:`~repro.serving.prefix.PrefixIndex` can only
+    reuse cached KV when it knows *which* tokens the prompt holds.
+    ``cached_prefix`` is filled by the simulator with the tokens the
+    last admission found already resident.
     """
 
     request_id: str
@@ -43,6 +50,7 @@ class ServingRequest:
     predicted_len: Optional[float] = None
     ttft_deadline: Optional[float] = None
     tbot_target: Optional[float] = None
+    token_ids: Optional[Tuple[int, ...]] = None
 
     # filled in by the simulator
     prefill_start: Optional[float] = None
@@ -50,6 +58,7 @@ class ServingRequest:
     finish: Optional[float] = None
     generated: int = 0
     prefilled: int = 0  # prompt tokens whose KV is cached (chunked prefill)
+    cached_prefix: int = 0  # prompt tokens reused from the prefix cache
     preemptions: int = 0
     rejected: bool = False
     queued_at: Optional[float] = None  # last time the request was (re)queued

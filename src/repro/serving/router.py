@@ -20,6 +20,13 @@ routing policies:
   (the decayed load model offline).  Deadline-free arrivals fall back to
   least-loaded, keeping lightly loaded instances available for urgent
   traffic.
+- ``prefix``      — cache-affinity routing: send an arrival to the
+  instance holding the longest cached prefix of its prompt
+  (``ServerInstance.peek_prefix`` against each instance's live
+  :class:`~repro.serving.prefix.PrefixIndex` in online mode; a sticky
+  prompt-head -> instance map offline), falling back to least-loaded
+  when nobody holds anything.  Keeps a conversation's turns — and all
+  sharers of a system prompt — landing where their KV already lives.
 
 Two routing modes share these policies:
 
@@ -60,6 +67,7 @@ class RoutingPolicy(enum.Enum):
     LENGTH = "length"
     BOTH = "both"
     SLO = "slo"
+    PREFIX = "prefix"
 
 
 @dataclass
@@ -78,6 +86,7 @@ class RoutedRequest:
     lengths_by_algo: Dict[str, int]
     ttft_deadline: Optional[float] = None
     tbot_target: Optional[float] = None
+    token_ids: Optional[Tuple[int, ...]] = None  # for prefix affinity/caching
 
 
 @dataclass
@@ -131,6 +140,10 @@ class Router:
         self.policy = policy
         self.throughput_fn = throughput_fn
         self.length_fn = length_fn
+        # offline prefix affinity: prompt head -> instance that saw it
+        # first (no live cache state exists before the replay runs)
+        self._prefix_home: Dict[Tuple[int, ...], int] = {}
+        self._home_key_len = 32
 
     # ------------------------------------------------------------------
     def _drain_rates(self) -> np.ndarray:
@@ -182,6 +195,18 @@ class Router:
         n = len(self.instances)
         if self.policy == RoutingPolicy.LOAD_BALANCE:
             return int(np.argmin(load_tokens))
+        if self.policy == RoutingPolicy.PREFIX:
+            # offline: no live cache to probe — sticky-route each prompt
+            # head to the instance that first saw it, least-loaded else
+            ids = getattr(req, "token_ids", None)
+            if ids is None:
+                return int(np.argmin(load_tokens))
+            key = tuple(ids[: self._home_key_len])
+            idx = self._prefix_home.get(key)
+            if idx is None:
+                idx = int(np.argmin(load_tokens))
+                self._prefix_home[key] = idx
+            return idx
         if self.policy == RoutingPolicy.SLO:
             if getattr(req, "ttft_deadline", None) is None:
                 # deadline-free: spread by load, keeping fast instances
@@ -207,6 +232,15 @@ class Router:
         )
         # live backlog converted to seconds via each instance's drain rate
         load_seconds = load_tokens / np.maximum(drain, 1e-6)
+        if self.policy == RoutingPolicy.PREFIX:
+            # cache affinity against the *live* prefix indices: longest
+            # cached prefix wins, least-loaded when nobody holds any
+            ids = getattr(req, "token_ids", None)
+            if ids is not None:
+                cached = [inst.peek_prefix(ids) for inst in self.instances]
+                if max(cached) > 0:
+                    return int(np.argmax(cached))
+            return int(np.argmin(load_tokens))
         return self._pick(req, load_tokens, load_seconds)
 
     def _make_request(self, req: RoutedRequest, idx: int) -> ServingRequest:
@@ -221,6 +255,7 @@ class Router:
             predicted_len=pred_len,
             ttft_deadline=req.ttft_deadline,
             tbot_target=req.tbot_target,
+            token_ids=req.token_ids,
         )
 
     # ------------------------------------------------------------------

@@ -26,6 +26,18 @@ victims (dropping chunk KV loses no emitted tokens).  ``chunk_size=None``
 (the default) reproduces single-shot prefill bit-for-bit; static mode
 ignores the knob (eager engines prefill the whole batch at once).
 
+With a :class:`~repro.serving.prefix.PrefixIndex` attached, admission
+runs **automatic prefix caching**: a prompt whose leading KV blocks are
+already resident (same tokens, same position — matched content-
+addressed, like vLLM's prefix caching / SGLang's RadixAttention) starts
+with ``req.prefilled = cached`` and only the uncached suffix is priced,
+via the same ``prefill_chunk`` model chunked prefill uses — the two
+features compose.  Completed prefills register their prompt's blocks
+for future arrivals.  Sharing is FP16-only: a compressed instance
+(``kv_bytes_ratio < 1`` or a sparse budget) never shares, since evicted
+or quantized blocks no longer hold what their content hash promises —
+the paper's Section 3.1.2 friction between compression and paged reuse.
+
 Admission is gated by a KV-token budget derived from the memory model.
 Two admission modes exist: ``"reserve"`` (seed behaviour — a request's
 peak KV footprint is reserved at admission, so the budget can never be
@@ -53,6 +65,7 @@ import numpy as np
 from repro.compression.base import CompressionCostSpec
 from repro.engines.base import ServingCostModel
 from repro.serving.events import EventLoop
+from repro.serving.prefix import PrefixIndex
 from repro.serving.request import ServingRequest
 from repro.serving.scheduler import FCFSPolicy, SchedulerPolicy
 from repro.serving.trace import EventType, Trace
@@ -113,6 +126,7 @@ class ServerInstance:
         scheduler: Optional[SchedulerPolicy] = None,
         admission: str = "reserve",
         chunk_size: Optional[int] = None,
+        prefix_cache: Optional[PrefixIndex] = None,
         name: str = "",
     ) -> None:
         if max_batch < 1:
@@ -130,6 +144,7 @@ class ServerInstance:
         self.scheduler = scheduler or FCFSPolicy()
         self.admission = admission
         self.chunk_size = chunk_size
+        self.prefix_cache = prefix_cache
         self.name = name
         self.token_budget = self._token_budget()
         self._step_cache: Dict[Tuple[int, int], float] = {}
@@ -149,6 +164,58 @@ class ServerInstance:
             else:
                 hi = mid - 1
         return lo
+
+    @property
+    def _prefix_shareable(self) -> bool:
+        """Whether this instance can reuse cached prefixes at all.
+
+        FP16 only: quantized or sparsely-evicted KV blocks diverge from
+        the content their hash promises (paper Section 3.1.2), and
+        static batching has no per-request admission to consult a cache
+        from.
+        """
+        return (
+            self.prefix_cache is not None
+            and self.comp.kv_bytes_ratio == 1.0
+            and self.comp.sparse_budget is None
+            and self.cost_model.engine.supports_continuous_batching
+        )
+
+    def peek_prefix(self, token_ids: Optional[Sequence[int]]) -> int:
+        """Cached-prefix tokens this instance holds for ``token_ids``
+        (pure probe for cache-affinity routing; no stats, no LRU touch)."""
+        if not self._prefix_shareable or token_ids is None:
+            return 0
+        return self.prefix_cache.peek(token_ids)
+
+    def _prefix_lookup(self, now: float, req: ServingRequest) -> int:
+        """Resident-prefix tokens for an admission; records PREFIX_HIT.
+
+        ``saved_seconds`` is the single-shot prefill delta the reuse
+        avoids — telemetry, not the priced cost (a chunked admission's
+        actual schedule differs).
+        """
+        if not self._prefix_shareable or req.token_ids is None:
+            return 0
+        cached = min(self.prefix_cache.lookup(req.token_ids), req.prompt_len - 1)
+        req.cached_prefix = cached
+        if cached:
+            saved = (
+                self.cost_model.prefill(1, req.prompt_len, self.comp).seconds
+                - self.cost_model.prefill_chunk(
+                    1, req.prompt_len - cached, cached, self.comp
+                ).seconds
+            )
+            self._record(
+                now, EventType.PREFIX_HIT, req.request_id,
+                cached=cached, prompt=req.prompt_len, saved_seconds=saved,
+            )
+        return cached
+
+    def _prefix_insert(self, req: ServingRequest) -> None:
+        """Register a fully-prefilled prompt's blocks for future reuse."""
+        if self._prefix_shareable and req.token_ids is not None:
+            self.prefix_cache.insert(req.token_ids)
 
     def _request_tokens(self, req: ServingRequest) -> int:
         """KV tokens a request will occupy at its peak."""
@@ -371,9 +438,20 @@ class ServerInstance:
         need = self._admit_need(req)
         if self.used_tokens + need > self.token_budget:
             return False  # head-of-line stall until a finish frees budget
-        if self.chunk_size is not None and req.prompt_len > self.chunk_size:
-            return self._admit_chunked(now, req, need)
-        cost = self.cost_model.prefill(1, req.prompt_len, self.comp)
+        cached = self._prefix_lookup(now, req)
+        if (
+            self.chunk_size is not None
+            and req.prompt_len - cached > self.chunk_size
+        ):
+            return self._admit_chunked(now, req, need, cached)
+        if cached:
+            # only the uncached suffix runs; the resident prefix is
+            # attended over, not recomputed (prefill_chunk prices that)
+            cost = self.cost_model.prefill_chunk(
+                1, req.prompt_len - cached, cached, self.comp
+            )
+        else:
+            cost = self.cost_model.prefill(1, req.prompt_len, self.comp)
         if cost.oom:
             self._reject(now, req, need)
             self._schedule_wake(now)
@@ -381,15 +459,16 @@ class ServerInstance:
         self._waiting.remove(req)
         req.prefill_start = now
         self._record_admit(now, req)
-        self._record(
-            now, EventType.PREFILL, req.request_id,
-            seconds=cost.seconds, prompt=req.prompt_len,
-        )
+        data = {"seconds": cost.seconds, "prompt": req.prompt_len}
+        if cached:
+            data["cached"] = cached
+        self._record(now, EventType.PREFILL, req.request_id, **data)
         end = now + cost.seconds
         if req.first_token is None:  # preserved across recompute preemption
             req.first_token = end
         req.prefilled = req.prompt_len
         req.generated = 1 if req.response_len > 0 else 0
+        self._prefix_insert(req)
         if req.done:
             self._finish(req, end)
         else:
@@ -399,12 +478,15 @@ class ServerInstance:
         self._schedule_wake(end)
         return True
 
-    def _admit_chunked(self, now: float, req: ServingRequest, need: int) -> bool:
+    def _admit_chunked(
+        self, now: float, req: ServingRequest, need: int, cached: int = 0
+    ) -> bool:
         """Start a chunked prefill: the prompt fills chunk by chunk,
-        interleaved with decode steps for the running batch."""
+        interleaved with decode steps for the running batch.  A cached
+        prefix is already-filled KV, so chunking starts there."""
         self._waiting.remove(req)
         req.prefill_start = now
-        req.prefilled = 0
+        req.prefilled = cached
         self._record_admit(now, req)
         self._prefilling = req
         if self.admission == "reserve":
@@ -445,6 +527,7 @@ class ServerInstance:
             if req.first_token is None:
                 req.first_token = end
             req.generated = 1 if req.response_len > 0 else 0
+            self._prefix_insert(req)
             if req.done:
                 if self.admission == "reserve":
                     self._used -= self._request_tokens(req)
@@ -604,6 +687,7 @@ class ServerInstance:
         )
         victim.generated = 0  # recompute-style: KV dropped, re-prefill
         victim.prefilled = 0
+        victim.cached_prefix = 0  # re-admission consults the index afresh
         victim.preemptions += 1
         victim.queued_at = clock  # queue delay restarts at the requeue
         self._waiting.append(victim)

@@ -7,7 +7,11 @@ recorded as a typed :class:`TraceEvent`:
   ``queued_at`` — the last (re)queue epoch, which is the arrival for a
   fresh request and the preemption instant for a requeued one — plus
   ``ttft_deadline`` / ``tbot_target`` when SLO targets are set).
-- ``PREFILL``      — its prompt pass ran in one shot (data: ``seconds``).
+- ``PREFIX_HIT``   — admission found part of the prompt's KV already
+  resident in the instance's prefix index (data: ``cached``, ``prompt``,
+  ``saved_seconds`` — the single-shot prefill time the reuse avoids).
+- ``PREFILL``      — its prompt pass ran in one shot (data: ``seconds``;
+  after a prefix hit also ``cached``, the reused tokens not re-priced).
 - ``PREFILL_CHUNK`` — one chunk of a chunked prefill ran (data:
   ``seconds``, ``chunk``, ``prefilled``, ``prompt``); the request's
   first token is emitted when the last chunk lands.
@@ -43,6 +47,7 @@ class EventType(str, enum.Enum):
     """Kinds of scheduling events the simulator emits."""
 
     ADMIT = "ADMIT"
+    PREFIX_HIT = "PREFIX_HIT"
     PREFILL = "PREFILL"
     PREFILL_CHUNK = "PREFILL_CHUNK"
     DECODE_STEP = "DECODE_STEP"

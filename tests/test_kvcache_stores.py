@@ -157,6 +157,145 @@ class TestPaged:
         assert s.stats().live_tokens == total_live
 
 
+class TestPrefixCachedPaged:
+    """Content-addressed sharing, LRU retention, and the compression/
+    shareability friction in the paged store."""
+
+    IDS = list(range(40))  # 2 full 16-token blocks + 8-token tail
+
+    def _store(self, capacity=4096):
+        return PagedStore(capacity, block_size=16, prefix_caching=True)
+
+    def test_identical_prompt_shares_full_blocks(self):
+        s = self._store()
+        assert s.add_sequence("a", 40, self.IDS) == 0
+        assert s.add_sequence("b", 40, self.IDS) == 32
+        # b holds the same two leading blocks plus its own tail
+        assert s.block_ref_count("b", 0) == 2
+        assert s.block_ref_count("b", 1) == 2
+        assert s.block_ref_count("b", 2) == 1
+        assert s.stats().allocated_tokens == 4 * 16  # not 6
+        assert s.prefix_hits == 1 and s.reused_tokens == 32
+
+    def test_free_shared_then_cached(self):
+        s = self._store()
+        s.add_sequence("a", 40, self.IDS)
+        s.add_sequence("b", 40, self.IDS)
+        s.free("a")  # shared blocks survive for b; a's tail returns
+        assert s.block_ref_count("b", 0) == 1
+        assert s.cached_blocks == 0
+        assert s.stats().allocated_tokens == 3 * 16
+        s.free("b")  # hashed blocks retained in the LRU pool
+        assert s.cached_blocks == 2
+        st_ = s.stats()
+        assert st_.live_tokens == 0
+        assert st_.cached_tokens == 32
+        # a later identical prompt revives the cached blocks
+        assert s.add_sequence("c", 40, self.IDS) == 32
+        assert s.cached_blocks == 0
+
+    def test_lru_reclaimed_when_free_list_dry(self):
+        s = self._store(capacity=4 * 16)
+        s.add_sequence("a", 32, self.IDS[:32])
+        s.free("a")
+        assert s.cached_blocks == 2
+        # unhashable allocation must reclaim the cached pool, not fail
+        s.add_sequence("b", 4 * 16)
+        assert s.cached_block_evictions == 2
+        assert s.cached_blocks == 0
+
+    def test_evict_all_slots_of_shared_block(self):
+        """Sparse eviction of a whole shared block privatizes first:
+        the peer keeps the pristine, still-cached prefix."""
+        s = self._store()
+        s.add_sequence("a", 40, self.IDS)
+        s.add_sequence("b", 40, self.IDS)
+        s.evict("b", list(range(16)))  # every slot of b's first block
+        assert s.stats().copied_tokens == 16  # copy-on-write
+        assert s.block_ref_count("a", 0) == 1  # b detached
+        assert s.sequence_tokens("b") == 24
+        assert s.recount_sequence_tokens("b") == 24
+        # a is untouched and its blocks still serve prefix hits
+        assert s.sequence_tokens("a") == 40
+        assert s.cached_prefix(self.IDS) == 32
+
+    def test_mutation_invalidates_hash(self):
+        """Quantization write-back (mark_mutated) keeps the slots but
+        breaks shareability — the Section 3.1.2 friction."""
+        s = self._store()
+        s.add_sequence("a", 40, self.IDS)
+        assert s.cached_prefix(self.IDS) == 32
+        s.mark_mutated("a", [0])
+        assert s.cached_prefix(self.IDS) == 0
+        assert s.sequence_tokens("a") == 40  # no holes punched
+        # the mutated block is released on free; the second block's
+        # content is still pristine, so it alone stays cached
+        s.free("a")
+        assert s.cached_blocks == 1
+        assert s.stats().cached_tokens == 16
+
+    def test_append_extends_hash_chain(self):
+        s = self._store()
+        s.add_sequence("a", 40, self.IDS)
+        decode = list(range(100, 108))
+        s.append("a", 8, decode)  # closes the 48-token third block
+        full = self.IDS + decode
+        assert s.cached_prefix(full) == 48
+        # unknown content breaks the chain permanently
+        s.append("a", 16)
+        s.append("a", 16, list(range(200, 216)))
+        assert s.cached_prefix(full) == 48
+
+    def test_compact_fully_evicted_sequence(self):
+        s = self._store()
+        s.add_sequence("a", 32, self.IDS[:32])
+        s.evict("a", list(range(32)))
+        assert s.sequence_tokens("a") == 0
+        assert s.compact_sequence("a") == 0
+        assert s.sequence_blocks("a") == 0
+        assert s.stats().allocated_tokens == 0
+        s.append("a")  # still usable after compaction to zero
+        assert s.sequence_tokens("a") == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_running_counters_match_recount(self, seed):
+        """Property: the O(1) running counters in stats() and
+        sequence_tokens() always equal the slow recount oracles."""
+        rng = np.random.default_rng(seed)
+        s = self._store(capacity=2048)
+        prompts = [list(range(p, p + 48)) for p in (0, 0, 16, 400)]
+        alive = set()
+        for step in range(60):
+            op = rng.integers(0, 5)
+            if op == 0 and len(alive) < 6:
+                sid = f"s{step}"
+                ids = prompts[int(rng.integers(0, len(prompts)))]
+                try:
+                    s.add_sequence(sid, len(ids), ids)
+                    alive.add(sid)
+                except CapacityError:
+                    pass
+            elif alive:
+                sid = sorted(alive)[int(rng.integers(0, len(alive)))]
+                if op == 1:
+                    s.append(sid, 1, [int(rng.integers(0, 50))])
+                elif op == 2:
+                    # live <= length, so this is always a valid position
+                    n = s.sequence_tokens(sid)
+                    if n:
+                        s.evict(sid, [int(rng.integers(0, n))])
+                elif op == 3:
+                    s.compact_sequence(sid)
+                else:
+                    s.free(sid)
+                    alive.discard(sid)
+            fast, slow = s.stats(), s.recount_stats()
+            assert fast == slow
+            for sid in alive:
+                assert s.sequence_tokens(sid) == s.recount_sequence_tokens(sid)
+
+
 class TestQuantizedPaged:
     def test_migration_on_aging(self):
         s = QuantizedPagedStore(

@@ -1,0 +1,170 @@
+"""Warm-prefill prefix reuse at the model level.
+
+The acceptance bar is *bitwise* equality: a warm FP16 prefill that
+adopts cached K/V must produce logits identical to a cold recompute.
+The model prefills in absolute-position-aligned blocks
+(``prefill_block``) precisely so each full block's K/V is a
+deterministic function of its prefix tokens; these tests pin that
+contract and the PrefixCache bookkeeping around it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import create
+from repro.model.cache import PrefixCache
+from repro.model.config import llama_sim_config
+from repro.model.generate import generate, left_pad
+from repro.model.transformer import FunctionalTransformer
+
+
+@pytest.fixture(scope="module")
+def model():
+    # small blocks so short test prompts span several of them
+    return FunctionalTransformer(llama_sim_config(), prefill_block=16)
+
+
+def _prompt(factory, depth, tail):
+    p, _, _ = factory.make(depth=depth, tail=tail, ans_len=3)
+    return p
+
+
+def _cold_prefill(model, prompt):
+    tokens, starts = left_pad([prompt], model.tokenizer.special.pad)
+    cache = model.new_cache(1, starts)
+    logits = model.prefill(tokens, cache, None)
+    return logits, cache
+
+
+class TestBitExactness:
+    def test_warm_prefill_logits_bit_equal(self, model, prompt_factory):
+        first = _prompt(prompt_factory, depth=40, tail=30)
+        extended = first + _prompt(prompt_factory, depth=20, tail=10)
+
+        pc = PrefixCache()
+        generate(model, [first], max_new_tokens=2, prefix_cache=pc)
+
+        match = pc.longest_match(extended, align=model.prefill_block)
+        assert match is not None
+        reused, layer_kv = match
+        assert reused == len(first) // model.prefill_block * model.prefill_block
+
+        tokens, starts = left_pad([extended], model.tokenizer.special.pad)
+        warm_cache = model.new_cache(1, starts)
+        for li, (k, v) in enumerate(layer_kv):
+            warm_cache[li].append(k[None], v[None])
+        warm = model.prefill(tokens[:, reused:], warm_cache, None)
+
+        cold, cold_cache = _cold_prefill(model, extended)
+        assert (warm == cold).all()  # bitwise, not approx
+        for li in range(model.config.n_layers):
+            assert (warm_cache[li].k == cold_cache[li].k).all()
+            assert (warm_cache[li].v == cold_cache[li].v).all()
+
+    def test_warm_generation_matches_cold(self, model, prompt_factory):
+        first = _prompt(prompt_factory, depth=35, tail=20)
+        extended = first + _prompt(prompt_factory, depth=18, tail=12)
+
+        pc = PrefixCache()
+        generate(model, [first], max_new_tokens=2, prefix_cache=pc)
+        warm = generate(model, [extended], max_new_tokens=16, prefix_cache=pc)
+        cold = generate(model, [extended], max_new_tokens=16)
+        assert warm.reused_prefix_tokens > 0
+        assert cold.reused_prefix_tokens == 0
+        assert warm.sequences == cold.sequences
+
+    def test_identical_prompt_reuses_aligned_prefix(self, model, prompt_factory):
+        p = _prompt(prompt_factory, depth=50, tail=30)
+        pc = PrefixCache()
+        a = generate(model, [p], max_new_tokens=4, prefix_cache=pc)
+        b = generate(model, [p], max_new_tokens=4, prefix_cache=pc)
+        assert a.reused_prefix_tokens == 0
+        # capped below the full prompt, rounded to a block boundary
+        assert b.reused_prefix_tokens == (
+            (len(p) - 1) // model.prefill_block * model.prefill_block
+        )
+        assert a.sequences == b.sequences
+
+
+class TestGating:
+    def test_compressed_runs_never_touch_cache(self, model, prompt_factory):
+        p = _prompt(prompt_factory, depth=60, tail=30)
+        pc = PrefixCache()
+        comp = create("kivi-4")
+        out = generate(
+            model, [p], compressor=comp, max_new_tokens=2, prefix_cache=pc
+        )
+        assert out.reused_prefix_tokens == 0
+        assert len(pc) == 0  # mutated K/V is unshareable (§3.1.2)
+
+    def test_batched_runs_skip_cache(self, model, prompt_factory):
+        p1 = _prompt(prompt_factory, depth=40, tail=20)
+        p2 = _prompt(prompt_factory, depth=30, tail=25)
+        pc = PrefixCache()
+        out = generate(model, [p1, p2], max_new_tokens=2, prefix_cache=pc)
+        assert out.reused_prefix_tokens == 0
+        assert len(pc) == 0
+
+    def test_trailing_partial_block_not_stored(self, model, prompt_factory):
+        p = _prompt(prompt_factory, depth=40, tail=20)
+        pc = PrefixCache()
+        generate(model, [p], max_new_tokens=2, prefix_cache=pc)
+        stored = next(iter(pc._entries))
+        assert len(stored) == len(p) // model.prefill_block * model.prefill_block
+
+
+class TestPrefixCacheUnit:
+    def _layers(self, length, fill=1.0):
+        return [
+            (
+                np.full((2, length, 4), fill, dtype=np.float32),
+                np.full((2, length, 4), -fill, dtype=np.float32),
+            )
+        ]
+
+    def test_put_copies_arrays(self):
+        pc = PrefixCache()
+        layers = self._layers(8)
+        pc.put(range(8), layers)
+        layers[0][0][:] = 99.0  # caller's buffer keeps mutating
+        _, cached = pc.longest_match(list(range(8)) + [60])
+        assert (cached[0][0] == 1.0).all()
+
+    def test_alignment_rounds_down(self):
+        pc = PrefixCache()
+        pc.put(range(20), self._layers(20))
+        matched, layers = pc.longest_match(list(range(20)) + [60], align=16)
+        assert matched == 16
+        assert layers[0][0].shape[1] == 16
+
+    def test_reuse_capped_below_prompt_len(self):
+        pc = PrefixCache()
+        pc.put(range(8), self._layers(8))
+        matched, _ = pc.longest_match(list(range(8)), align=1)
+        assert matched == 7  # at least one token must be computed
+
+    def test_miss_and_stats(self):
+        pc = PrefixCache()
+        pc.put(range(8), self._layers(8))
+        assert pc.longest_match([50, 51, 52]) is None
+        pc.longest_match(list(range(8)) + [60])
+        assert pc.misses == 1 and pc.hits == 1 and pc.reused_tokens == 8
+
+    def test_lru_eviction(self):
+        pc = PrefixCache(max_entries=2)
+        pc.put(range(8), self._layers(8))
+        pc.put(range(20, 28), self._layers(8))
+        pc.put(range(40, 48), self._layers(8))
+        assert len(pc) == 2
+        assert pc.longest_match(list(range(9))) is None  # oldest evicted
+
+    def test_longest_of_multiple_matches_wins(self):
+        pc = PrefixCache()
+        pc.put(range(8), self._layers(8))
+        pc.put(range(16), self._layers(16))
+        matched, _ = pc.longest_match(list(range(16)) + [60], align=8)
+        assert matched == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixCache(max_entries=0)

@@ -1,0 +1,319 @@
+"""Tests for serving-level prefix caching: the PrefixIndex, admission
+integration (PREFIX_HIT pricing, chunked-prefill composition,
+preemption), the compression shareability gate, and cache-affinity
+routing."""
+
+import numpy as np
+import pytest
+
+from repro.compression import NoCompression, create
+from repro.engines import LMDEPLOY, ServingCostModel
+from repro.hardware import A6000
+from repro.model.arch import LLAMA_7B
+from repro.serving import (
+    EventType,
+    LatencySummary,
+    PrefixIndex,
+    RoutedRequest,
+    Router,
+    RoutingPolicy,
+    ServerInstance,
+    ServingRequest,
+    StepMetrics,
+    Trace,
+)
+
+FP16 = NoCompression().cost_spec()
+
+
+def instance(comp=FP16, **kw):
+    return ServerInstance(ServingCostModel(LLAMA_7B, A6000, LMDEPLOY), comp, **kw)
+
+
+def conversation(turns=2, sys_len=256, user_len=64, resp=16, gap=30.0):
+    """Multi-turn requests whose prompts accumulate history."""
+    history = list(range(10_000, 10_000 + sys_len))
+    reqs = []
+    for t in range(turns):
+        prompt = history + [20_000 + t * 1_000 + i for i in range(user_len)]
+        reqs.append(
+            ServingRequest(
+                f"t{t}", t * gap, len(prompt), resp,
+                token_ids=tuple(prompt),
+            )
+        )
+        history = prompt + [30_000 + t * 1_000 + i for i in range(resp)]
+    return reqs
+
+
+class TestPrefixIndex:
+    def test_insert_then_peek(self):
+        idx = PrefixIndex(block_size=16)
+        ids = list(range(40))
+        assert idx.insert(ids) == 2  # only full blocks registered
+        assert idx.peek(ids) == 32
+        assert idx.peek(ids[:16]) == 16
+        assert idx.peek(list(range(100, 140))) == 0
+
+    def test_peek_is_pure(self):
+        idx = PrefixIndex()
+        idx.insert(list(range(32)))
+        idx.peek(list(range(32)))
+        idx.peek(list(range(64, 96)))
+        assert idx.hits == 0 and idx.misses == 0
+
+    def test_lookup_counts(self):
+        idx = PrefixIndex()
+        idx.insert(list(range(32)))
+        assert idx.lookup(list(range(32))) == 32
+        assert idx.lookup(list(range(64, 96))) == 0
+        assert idx.hits == 1 and idx.misses == 1
+        assert idx.hit_rate == 0.5
+
+    def test_chained_keys_disambiguate_position(self):
+        """The same block content at a different position is a miss."""
+        idx = PrefixIndex(block_size=16)
+        idx.insert(list(range(16)) + list(range(16)))
+        # second block's key chains through the first, so a prompt
+        # opening with that content alone only matches block one
+        assert idx.peek(list(range(16))) == 16
+
+    def test_capacity_lru_eviction(self):
+        idx = PrefixIndex(block_size=16, capacity_blocks=2)
+        idx.insert(list(range(32)))
+        idx.insert(list(range(100, 132)))
+        assert len(idx) == 2
+        assert idx.evicted_blocks == 2
+        assert idx.peek(list(range(32))) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixIndex(block_size=0)
+        with pytest.raises(ValueError):
+            PrefixIndex(capacity_blocks=0)
+
+
+class TestAdmission:
+    def test_repeat_prompt_hits_and_cuts_ttft(self):
+        inst = instance(prefix_cache=PrefixIndex())
+        trace = Trace()
+        ids = tuple(range(512))
+        reqs = [
+            ServingRequest("a", 0.0, 512, 8, token_ids=ids),
+            ServingRequest("b", 30.0, 512, 8, token_ids=ids),
+        ]
+        res = inst.run(reqs, trace=trace)
+        hits = trace.of_kind(EventType.PREFIX_HIT)
+        assert [e.request_id for e in hits] == ["b"]
+        a, b = res.completed
+        assert a.cached_prefix == 0
+        # full-prompt repeat: capped one token short so the last token
+        # is still computed to produce the first output logit
+        assert b.cached_prefix == 511
+        assert b.ttft < a.ttft / 2
+
+    def test_multi_turn_growing_prefix(self):
+        inst = instance(prefix_cache=PrefixIndex())
+        trace = Trace()
+        res = inst.run(conversation(turns=3), trace=trace)
+        later = [r for r in res.completed if r.request_id != "t0"]
+        assert all(r.cached_prefix > 0 for r in later)
+        # each turn's cached prefix covers at least the previous prompt
+        prev_prompt = 0
+        for r in sorted(res.completed, key=lambda r: r.arrival):
+            assert r.cached_prefix >= prev_prompt // 16 * 16 - 16
+            prev_prompt = r.prompt_len
+        m = StepMetrics.from_trace(trace)
+        assert m.prefix_hits == 2
+        assert m.prefix_hit_rate == pytest.approx(2 / 3)
+        assert m.prefix_saved_seconds > 0
+
+    def test_no_token_ids_trace_identical_to_disabled(self):
+        """Requests without token ids on a prefix-enabled instance
+        behave bit-for-bit like the disabled path."""
+
+        def run(prefix):
+            inst = instance(
+                prefix_cache=PrefixIndex() if prefix else None,
+                admission="dynamic", chunk_size=256,
+            )
+            trace = Trace()
+            rng = np.random.default_rng(3)
+            arr = np.cumsum(rng.exponential(0.2, size=24))
+            reqs = [
+                ServingRequest(
+                    f"r{i}", float(arr[i]),
+                    int(rng.integers(64, 1024)), int(rng.integers(8, 64)),
+                )
+                for i in range(24)
+            ]
+            inst.run(reqs, trace=trace)
+            return [
+                (e.time, e.kind.value, e.request_id, e.data)
+                for e in trace.events
+            ]
+
+        assert run(prefix=True) == run(prefix=False)
+
+    def test_prefill_event_prices_suffix_only(self):
+        inst = instance(prefix_cache=PrefixIndex())
+        trace = Trace()
+        ids = tuple(range(512))
+        inst.run(
+            [
+                ServingRequest("a", 0.0, 512, 4, token_ids=ids),
+                ServingRequest("b", 30.0, 512, 4, token_ids=ids),
+            ],
+            trace=trace,
+        )
+        prefills = {e.request_id: e for e in trace.of_kind(EventType.PREFILL)}
+        cached = prefills["b"].data["cached"]
+        expected = inst.cost_model.prefill_chunk(
+            1, 512 - cached, cached, inst.comp
+        ).seconds
+        assert prefills["b"].data["seconds"] == pytest.approx(expected)
+        assert "cached" not in prefills["a"].data
+
+    def test_composes_with_chunked_prefill(self):
+        inst = instance(prefix_cache=PrefixIndex(), chunk_size=128)
+        trace = Trace()
+        ids = tuple(range(1024))
+        extended = ids + tuple(range(5_000, 5_300))
+        res = inst.run(
+            [
+                ServingRequest("a", 0.0, 1024, 4, token_ids=ids),
+                ServingRequest("b", 60.0, 1324, 4, token_ids=extended),
+            ],
+            trace=trace,
+        )
+        chunks = {"a": [], "b": []}
+        for e in trace.of_kind(EventType.PREFILL_CHUNK):
+            chunks[e.request_id].append(e)
+        b = next(r for r in res.completed if r.request_id == "b")
+        # warm request starts chunking from the cached prefix and only
+        # prefills the 300-token suffix: 3 chunks instead of 11
+        assert b.cached_prefix == 1024
+        assert len(chunks["a"]) == 8
+        assert len(chunks["b"]) == 3
+        assert chunks["b"][0].data["prefilled"] == 1024 + 128
+        assert chunks["b"][-1].data["prefilled"] == 1324
+
+    def test_preempted_request_rehits_on_readmission(self):
+        """Recompute preemption resets cached_prefix, but the request's
+        own first prefill populated the index, so re-admission hits."""
+        inst = instance(prefix_cache=PrefixIndex(), admission="dynamic")
+        trace = Trace()
+        rng = np.random.default_rng(0)
+        n = 24
+        reqs = [
+            ServingRequest(
+                f"r{i}", i * 0.01, 4000, 800,
+                token_ids=tuple(
+                    int(t) for t in rng.integers(0, 50_000, size=4000)
+                ),
+            )
+            for i in range(n)
+        ]
+        res = inst.run(reqs, trace=trace)
+        preempted = {e.request_id for e in trace.of_kind(EventType.PREEMPT)}
+        assert preempted  # the stream actually overloads the budget
+        hits = [e for e in trace.of_kind(EventType.PREFIX_HIT)]
+        assert {e.request_id for e in hits} >= preempted
+        assert len(res.completed) == n
+
+    def test_compression_gate_blocks_sharing(self):
+        """Quantized KV is unshareable: the same index on a KIVI
+        instance records no hits and stays empty (Section 3.1.2)."""
+        idx = PrefixIndex()
+        inst = instance(comp=create("kivi-4").cost_spec(), prefix_cache=idx)
+        trace = Trace()
+        res = inst.run(conversation(turns=3), trace=trace)
+        assert not trace.of_kind(EventType.PREFIX_HIT)
+        assert len(idx) == 0
+        assert all(r.cached_prefix == 0 for r in res.completed)
+
+    def test_latency_summary_prefix_fields(self):
+        inst = instance(prefix_cache=PrefixIndex())
+        res = inst.run(conversation(turns=2))
+        s = LatencySummary.from_requests(res.completed)
+        assert s.prefix_hit_rate == pytest.approx(0.5)
+        assert s.cached_prefix_tokens > 0
+        assert "prefix_hit_rate" in s.as_dict()
+        # without any hit the fields stay out of the dict entirely
+        cold = instance().run(conversation(turns=2))
+        s0 = LatencySummary.from_requests(cold.completed)
+        assert s0.prefix_hit_rate is None
+        assert "prefix_hit_rate" not in s0.as_dict()
+
+
+class TestAffinityRouting:
+    def _routed_conversations(self, n_conv=4, turns=3):
+        reqs = []
+        for c in range(n_conv):
+            history = list(range(c * 100_000, c * 100_000 + 256))
+            for t in range(turns):
+                prompt = history + [
+                    c * 100_000 + 50_000 + t * 1_000 + i for i in range(64)
+                ]
+                reqs.append(
+                    RoutedRequest(
+                        f"c{c}t{t}", c * 0.05 + t * 2.0, len(prompt), 16,
+                        {"fp16": 16}, token_ids=tuple(prompt),
+                    )
+                )
+                history = prompt + [
+                    c * 100_000 + 70_000 + t * 1_000 + i for i in range(16)
+                ]
+        return reqs
+
+    def test_online_affinity_keeps_conversations_home(self):
+        router = Router(
+            [instance(prefix_cache=PrefixIndex()) for _ in range(3)],
+            ["fp16"] * 3,
+            RoutingPolicy.PREFIX,
+        )
+        res = router.serve_online(self._routed_conversations())
+        for c in range(4):
+            homes = {res.assignment[f"c{c}t{t}"] for t in range(3)}
+            assert len(homes) == 1
+        later = [
+            r for r in res.all_requests() if not r.request_id.endswith("t0")
+        ]
+        assert all(r.cached_prefix > 0 for r in later)
+
+    def test_probe_does_not_skew_instance_stats(self):
+        """Router probes use peek: only real admissions count toward an
+        index's hit/miss statistics."""
+        instances = [instance(prefix_cache=PrefixIndex()) for _ in range(3)]
+        router = Router(instances, ["fp16"] * 3, RoutingPolicy.PREFIX)
+        reqs = self._routed_conversations()
+        router.serve_online(reqs)
+        total = sum(
+            idx.hits + idx.misses
+            for idx in (inst.prefix_cache for inst in instances)
+        )
+        assert total == len(reqs)
+
+    def test_offline_prefix_routing_sticky(self):
+        router = Router(
+            [instance(prefix_cache=PrefixIndex()) for _ in range(3)],
+            ["fp16"] * 3,
+            RoutingPolicy.PREFIX,
+        )
+        res = router.serve(self._routed_conversations())
+        for c in range(4):
+            homes = {res.assignment[f"c{c}t{t}"] for t in range(3)}
+            assert len(homes) == 1
+
+    def test_prefix_policy_without_token_ids_falls_back(self):
+        router = Router(
+            [instance(prefix_cache=PrefixIndex()) for _ in range(2)],
+            ["fp16"] * 2,
+            RoutingPolicy.PREFIX,
+        )
+        reqs = [
+            RoutedRequest(f"r{i}", i * 0.01, 256, 16, {"fp16": 16})
+            for i in range(8)
+        ]
+        res = router.serve_online(reqs)
+        assert len(res.all_requests()) == 8  # least-loaded fallback serves all
