@@ -12,7 +12,14 @@ Each experiment prints its rendered tables; ``--out DIR`` also writes
 them to ``DIR/<name>.txt``.  ``trace`` runs a synthetic request stream
 through the event-driven serving simulator and dumps the step-level
 timeline (ADMIT / PREFILL / DECODE_STEP / PREEMPT / FINISH / REJECT)
-plus the aggregated scheduler metrics.
+plus the aggregated scheduler metrics; ``--export jsonl`` /
+``--export chrome`` additionally write the raw event stream as JSONL
+(reloadable via ``repro.serving.load_jsonl``) or as Chrome/Perfetto
+``trace_event`` JSON (open in ``chrome://tracing`` or
+https://ui.perfetto.dev).  ``dashboard`` serves the same stream with
+telemetry enabled and renders an ASCII dashboard — sparkline gauge
+series, latency histograms, SLO topline; ``--refresh S`` re-renders a
+frame every S simulated seconds while the run progresses.
 """
 
 from __future__ import annotations
@@ -68,8 +75,9 @@ _GENERATION = {
 EXPERIMENTS: Dict[str, Callable] = {**_ANALYTIC, **_GENERATION}
 
 
-def run_trace(args) -> int:
-    """Serve a synthetic stream and dump the step-level timeline."""
+def _build_serving(args):
+    """Shared ``trace`` / ``dashboard`` setup: one instance plus its
+    synthetic request stream, and a one-line run description."""
     import numpy as np
 
     from repro.compression import NoCompression, create
@@ -78,12 +86,9 @@ def run_trace(args) -> int:
     from repro.hardware.specs import get_gpu
     from repro.model.arch import get_arch
     from repro.serving import (
-        LatencySummary,
         PrefixIndex,
         ServerInstance,
         ServingRequest,
-        StepMetrics,
-        Trace,
         make_policy,
     )
 
@@ -125,8 +130,6 @@ def run_trace(args) -> int:
         )
         for i in range(args.n)
     ]
-    trace = Trace()
-    result = inst.run(reqs, trace=trace)
     chunk = "off" if args.chunk_size is None else str(args.chunk_size)
     slo = ""
     if args.ttft_slo is not None or args.tbot_slo is not None:
@@ -135,10 +138,29 @@ def run_trace(args) -> int:
             f" tbot<={args.tbot_slo or 'off'}s"
         )
     prefix = ", prefix caching on" if args.prefix_caching else ""
-    lines = [
+    header = (
         f"{args.n} requests @ {args.rps:.1f} req/s on {args.algo}/{args.engine} "
         f"({args.policy} scheduler, {args.admission} admission, "
-        f"chunked prefill {chunk}, token budget {inst.token_budget}{slo}{prefix})",
+        f"chunked prefill {chunk}, token budget {inst.token_budget}{slo}{prefix})"
+    )
+    return inst, reqs, header
+
+
+def run_trace(args) -> int:
+    """Serve a synthetic stream and dump the step-level timeline."""
+    from repro.serving import (
+        LatencySummary,
+        StepMetrics,
+        Trace,
+        dump_jsonl,
+        write_chrome_trace,
+    )
+
+    inst, reqs, header = _build_serving(args)
+    trace = Trace()
+    result = inst.run(reqs, trace=trace)
+    lines = [
+        header,
         "",
         trace.render_timeline(limit=args.limit),
         "",
@@ -161,6 +183,51 @@ def run_trace(args) -> int:
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
         (args.out / "trace.txt").write_text(text + "\n")
+    for fmt in args.export or ():
+        out_dir = args.out or pathlib.Path(".")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        if fmt == "jsonl":
+            path = out_dir / "trace.jsonl"
+            dump_jsonl(trace, path)
+        else:
+            path = out_dir / "trace.chrome.json"
+            write_chrome_trace(trace, path)
+        print(f"[exported {fmt} -> {path}]")
+    return 0
+
+
+def run_dashboard(args) -> int:
+    """Serve a synthetic stream with telemetry on; render the dashboard."""
+    from repro.serving import EventLoop, Telemetry, Trace, render_dashboard
+
+    inst, reqs, header = _build_serving(args)
+    telemetry = Telemetry(
+        labels={"policy": args.policy, "compression": args.algo}
+    )
+    trace = Trace()
+    loop = EventLoop(telemetry=telemetry)
+    inst.attach(loop, trace, telemetry)
+    for r in sorted(reqs, key=lambda r: r.arrival):
+        inst.submit(r)
+    print(header)
+    if args.refresh:
+        # live mode: advance the simulated clock in --refresh slices and
+        # re-render the dashboard from the registry as it stands mid-run
+        clear = "\x1b[H\x1b[2J" if sys.stdout.isatty() else ""
+        horizon = 0.0
+        while loop.pending:
+            horizon = max(horizon + args.refresh, loop.now)
+            loop.run(until=horizon)
+            frame = render_dashboard(telemetry, trace)
+            sep = "" if clear else f"\n--- frame @ {loop.now:.3f}s ---\n"
+            print(f"{clear}{sep}{frame}")
+    else:
+        loop.run()
+        print(render_dashboard(telemetry, trace))
+    if args.prom_out:
+        args.prom_out.parent.mkdir(parents=True, exist_ok=True)
+        args.prom_out.write_text(telemetry.render_prometheus())
+        print(f"[prometheus exposition -> {args.prom_out}]")
     return 0
 
 
@@ -175,42 +242,66 @@ def main(argv=None) -> int:
     runp.add_argument("names", nargs="+", help="experiment names or 'all'")
     runp.add_argument("--out", type=pathlib.Path, default=None,
                       help="also write rendered output to this directory")
+    def add_serving_args(p):
+        p.add_argument("--algo", default="fp16", help="compression algorithm")
+        p.add_argument("--arch", default="llama-7b")
+        p.add_argument("--gpu", default="a6000")
+        p.add_argument("--engine", default="lmdeploy")
+        p.add_argument("--n", type=int, default=16, help="request count")
+        p.add_argument("--rps", type=float, default=4.0, help="arrival rate")
+        p.add_argument("--max-batch", type=int, default=64)
+        p.add_argument("--policy", default="fcfs",
+                       choices=["fcfs", "shortest", "priority", "slo"])
+        p.add_argument("--admission", default="reserve",
+                       choices=["reserve", "dynamic"])
+        p.add_argument("--chunk-size", type=int, default=None,
+                       help="chunked-prefill chunk size in tokens "
+                            "(default: single-shot prefill)")
+        p.add_argument("--ttft-slo", type=float, default=None,
+                       help="per-request TTFT deadline in seconds "
+                            "(FINISH events flag ttft_miss=1 inline)")
+        p.add_argument("--tbot-slo", type=float, default=None,
+                       help="per-request TBOT target in seconds/token "
+                            "(FINISH events flag tbot_miss=1 inline)")
+        p.add_argument("--prefix-caching", action="store_true",
+                       help="attach a prefix index; the synthetic "
+                            "prompts share a 256-token system prompt "
+                            "so warm arrivals log PREFIX_HIT events")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--out", type=pathlib.Path, default=None,
+                       help="also write rendered output to this directory")
+
     tracep = sub.add_parser(
         "trace", help="dump a serving run's step-level event timeline"
     )
-    tracep.add_argument("--algo", default="fp16", help="compression algorithm")
-    tracep.add_argument("--arch", default="llama-7b")
-    tracep.add_argument("--gpu", default="a6000")
-    tracep.add_argument("--engine", default="lmdeploy")
-    tracep.add_argument("--n", type=int, default=16, help="request count")
-    tracep.add_argument("--rps", type=float, default=4.0, help="arrival rate")
-    tracep.add_argument("--max-batch", type=int, default=64)
-    tracep.add_argument("--policy", default="fcfs",
-                        choices=["fcfs", "shortest", "priority", "slo"])
-    tracep.add_argument("--admission", default="reserve",
-                        choices=["reserve", "dynamic"])
-    tracep.add_argument("--chunk-size", type=int, default=None,
-                        help="chunked-prefill chunk size in tokens "
-                             "(default: single-shot prefill)")
-    tracep.add_argument("--ttft-slo", type=float, default=None,
-                        help="per-request TTFT deadline in seconds "
-                             "(FINISH events flag ttft_miss=1 inline)")
-    tracep.add_argument("--tbot-slo", type=float, default=None,
-                        help="per-request TBOT target in seconds/token "
-                             "(FINISH events flag tbot_miss=1 inline)")
-    tracep.add_argument("--prefix-caching", action="store_true",
-                        help="attach a prefix index; the synthetic "
-                             "prompts share a 256-token system prompt "
-                             "so warm arrivals log PREFIX_HIT events")
-    tracep.add_argument("--seed", type=int, default=0)
+    add_serving_args(tracep)
     tracep.add_argument("--limit", type=int, default=None,
                         help="cap the number of timeline lines printed")
-    tracep.add_argument("--out", type=pathlib.Path, default=None,
-                        help="also write the timeline to this directory")
+    tracep.add_argument("--export", action="append", default=None,
+                        choices=["jsonl", "chrome"],
+                        help="also export the raw event stream "
+                             "(repeatable; jsonl reloads via "
+                             "repro.serving.load_jsonl, chrome opens in "
+                             "chrome://tracing / Perfetto)")
+    dashp = sub.add_parser(
+        "dashboard",
+        help="serve a synthetic stream with telemetry; render an ASCII "
+             "dashboard of gauges, histograms, and SLO attainment",
+    )
+    add_serving_args(dashp)
+    dashp.add_argument("--refresh", type=float, default=None,
+                       help="re-render a frame every REFRESH simulated "
+                            "seconds while the run progresses "
+                            "(default: one frame at the end)")
+    dashp.add_argument("--prom-out", type=pathlib.Path, default=None,
+                       help="write the Prometheus text exposition of the "
+                            "final registry to this file")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
         return run_trace(args)
+    if args.command == "dashboard":
+        return run_dashboard(args)
 
     if args.command == "list":
         scale = current_scale()

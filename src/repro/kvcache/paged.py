@@ -74,6 +74,7 @@ class PagedStore(KVCacheStore):
         capacity_tokens: int,
         block_size: int = 16,
         prefix_caching: bool = False,
+        telemetry=None,
     ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be positive")
@@ -82,6 +83,9 @@ class PagedStore(KVCacheStore):
         self.block_size = block_size
         self.n_blocks = capacity_tokens // block_size
         self.prefix_caching = prefix_caching
+        # duck-typed sink (repro.serving.telemetry.Telemetry); kvcache
+        # stays import-free of the serving package
+        self.telemetry = telemetry
         self._free: List[int] = list(range(self.n_blocks))
         self._blocks: Dict[int, _Block] = {}
         self._seqs: Dict[str, _PagedSeq] = {}
@@ -94,6 +98,11 @@ class PagedStore(KVCacheStore):
         self.prefix_hits = 0
         self.reused_tokens = 0
         self.cached_block_evictions = 0
+
+    def _publish(self) -> None:
+        """Push occupancy gauges to the attached telemetry sink, if any."""
+        if self.telemetry is not None:
+            self.telemetry.sample_store(self)
 
     # ------------------------------------------------------------------
     # block lifecycle
@@ -261,6 +270,7 @@ class PagedStore(KVCacheStore):
         if reused:
             self.prefix_hits += 1
             self.reused_tokens += reused
+        self._publish()
         return reused
 
     def append(
@@ -274,19 +284,22 @@ class PagedStore(KVCacheStore):
         cacheable prefix for the next conversation turn."""
         seq = self._seqs[seq_id]
         self._append_slots(seq, n_tokens)
-        if not self.prefix_caching or seq.tail_ids is None:
-            return
-        if token_ids is None or len(token_ids) != n_tokens:
-            seq.tail_ids = None  # content unknown from here on
-            return
-        seq.tail_ids.extend(int(t) for t in token_ids)
-        bs = self.block_size
-        while len(seq.tail_ids) >= bs:
-            prev = seq.chain[-1] if seq.chain else None
-            key: BlockKey = (prev, tuple(seq.tail_ids[:bs]))
-            self._register(seq, len(seq.chain), key)
-            seq.chain.append(key)
-            del seq.tail_ids[:bs]
+        try:
+            if not self.prefix_caching or seq.tail_ids is None:
+                return
+            if token_ids is None or len(token_ids) != n_tokens:
+                seq.tail_ids = None  # content unknown from here on
+                return
+            seq.tail_ids.extend(int(t) for t in token_ids)
+            bs = self.block_size
+            while len(seq.tail_ids) >= bs:
+                prev = seq.chain[-1] if seq.chain else None
+                key: BlockKey = (prev, tuple(seq.tail_ids[:bs]))
+                self._register(seq, len(seq.chain), key)
+                seq.chain.append(key)
+                del seq.tail_ids[:bs]
+        finally:
+            self._publish()
 
     def _mutate(
         self, seq_id: str, positions: List[int], punch_hole: bool
@@ -328,6 +341,7 @@ class PagedStore(KVCacheStore):
         sequences keep the unmutated prefix.
         """
         self._mutate(seq_id, positions, punch_hole=True)
+        self._publish()
 
     def mark_mutated(self, seq_id: str, positions: List[int]) -> None:
         """Record in-place mutation (e.g. quantization write-back) of
@@ -336,6 +350,7 @@ class PagedStore(KVCacheStore):
         via copy-on-write.  This is the explicit compression/prefix-
         caching friction of the paper's Section 3.1.2."""
         self._mutate(seq_id, positions, punch_hole=False)
+        self._publish()
 
     def compact_sequence(self, seq_id: str) -> int:
         """Gather live tokens into dense blocks; returns tokens copied.
@@ -356,6 +371,7 @@ class PagedStore(KVCacheStore):
         seq.tail_ids = None
         self._append_slots(seq, live)
         self._copied += live
+        self._publish()
         return live
 
     def free(self, seq_id: str) -> None:
@@ -364,6 +380,7 @@ class PagedStore(KVCacheStore):
         seq = self._seqs.pop(seq_id)
         for bid in seq.blocks:
             self._decref(bid)
+        self._publish()
 
     # ------------------------------------------------------------------
     # introspection

@@ -20,6 +20,19 @@ from repro.serving.scheduler import (
     make_policy,
 )
 from repro.serving.simulator import ServerInstance, SimulationResult
+from repro.serving.telemetry import (
+    MetricsRegistry,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    build_spans,
+    dump_jsonl,
+    load_jsonl,
+    render_dashboard,
+    to_chrome_trace,
+    validate_spans,
+    write_chrome_trace,
+)
 from repro.serving.trace import (
     EventType,
     Trace,
@@ -50,6 +63,17 @@ __all__ = [
     "make_policy",
     "ServerInstance",
     "SimulationResult",
+    "MetricsRegistry",
+    "Telemetry",
+    "NullTelemetry",
+    "Span",
+    "build_spans",
+    "validate_spans",
+    "dump_jsonl",
+    "load_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_dashboard",
     "EventType",
     "Trace",
     "TraceEvent",

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.serving.events import EventLoop
 from repro.serving.request import ServingRequest
+from repro.serving.telemetry.core import active as _active_telemetry
 from repro.serving.simulator import ServerInstance, SimulationResult
 from repro.serving.trace import Trace
 
@@ -67,10 +68,12 @@ class Cluster:
             inst.name = name
         self.names = names
 
-    def _attach_all(self, trace: Optional[Trace]) -> EventLoop:
-        loop = EventLoop()
+    def _attach_all(
+        self, trace: Optional[Trace], telemetry=None
+    ) -> EventLoop:
+        loop = EventLoop(telemetry=telemetry)
         for inst in self.instances:
-            inst.attach(loop, trace)
+            inst.attach(loop, trace, telemetry)
         return loop
 
     def view(self, index: int) -> InstanceView:
@@ -95,11 +98,16 @@ class Cluster:
         self,
         streams: Sequence[Sequence[ServingRequest]],
         trace: Optional[Trace] = None,
+        telemetry=None,
     ) -> List[SimulationResult]:
-        """Serve pre-assigned per-instance streams on the shared clock."""
+        """Serve pre-assigned per-instance streams on the shared clock.
+
+        ``telemetry`` (opt-in) is shared by every instance and the
+        loop, so one registry aggregates the whole fleet, labeled per
+        instance."""
         if len(streams) != len(self.instances):
             raise ValueError("one request stream per instance required")
-        loop = self._attach_all(trace)
+        loop = self._attach_all(trace, _active_telemetry(telemetry))
         for inst, stream in zip(self.instances, streams):
             for req in sorted(stream, key=lambda r: r.arrival):
                 inst.submit(req)
@@ -112,6 +120,7 @@ class Cluster:
         pick: PickFn,
         make: MakeFn,
         trace: Optional[Trace] = None,
+        telemetry=None,
     ) -> Tuple[List[SimulationResult], Dict[str, int]]:
         """Dispatch ``requests`` at their arrival instants.
 
@@ -127,12 +136,15 @@ class Cluster:
         already know a request may arrive so it can break the block and
         consider admission — exactly as the ``submit()`` path does.
         """
-        loop = self._attach_all(trace)
+        telemetry = _active_telemetry(telemetry)
+        loop = self._attach_all(trace, telemetry)
         assignment: Dict[str, int] = {}
 
         def dispatch(req) -> None:
             idx = pick(req, self.views(), loop.now)
             assignment[req.request_id] = idx
+            if telemetry is not None:
+                telemetry.on_route(self.instances[idx].name)
             self.instances[idx].receive(make(req, idx, loop.now))
 
         for req in sorted(requests, key=lambda r: r.arrival):

@@ -155,6 +155,7 @@ class StepMetrics:
     rejects: int
     finishes: int
     prefill_chunks: int
+    partial_requests: int
     decode_seconds: float
     mean_batch_occupancy: float
     peak_batch_occupancy: int
@@ -201,8 +202,21 @@ class StepMetrics:
         ``prefix_saved_seconds`` fold the PREFIX_HIT events (reused-KV
         admissions and the single-shot prefill time they avoided);
         ``prefix_hit_rate`` is hits over admissions.
+
+        The fold tolerates *partial* traces (a truncated JSONL export,
+        or requests still in flight when the trace stopped): events
+        missing the payload keys a statistic needs are skipped instead
+        of raising ``KeyError``, and ``partial_requests`` counts the
+        request ids that appear in the trace without a complete FINISH
+        or a REJECT.  On a complete trace it is zero and every number
+        matches the strict fold exactly.
         """
-        steps = trace.of_kind(EventType.DECODE_STEP)
+        steps = [
+            e
+            for e in trace.of_kind(EventType.DECODE_STEP)
+            if {"seconds", "batch", "used_tokens", "token_budget"}
+            <= e.data.keys()
+        ]
         secs = np.array([e.data["seconds"] for e in steps], dtype=float)
         batches = np.array([e.data["batch"] for e in steps], dtype=float)
         utils = np.array(
@@ -215,7 +229,12 @@ class StepMetrics:
         wall = float(secs.sum())
         w = secs / wall if wall > 0 else None
         times = np.array([e.time for e in steps], dtype=float)
-        finishes = trace.of_kind(EventType.FINISH)
+        all_finishes = trace.of_kind(EventType.FINISH)
+        finishes = [
+            e
+            for e in all_finishes
+            if {"arrival", "first_token", "generated"} <= e.data.keys()
+        ]
         # token streams in flight: a gap only stalls a client whose
         # stream covers it entirely
         spans = [(e.data["first_token"], e.time) for e in finishes]
@@ -235,9 +254,9 @@ class StepMetrics:
         dropped = {e.request_id for e in trace.of_kind(EventType.REJECT)}
         last_admit: Dict[str, float] = {}
         for e in admits:
-            last_admit[e.request_id] = e.time - e.data.get(
-                "queued_at", e.data["arrival"]
-            )
+            since = e.data.get("queued_at", e.data.get("arrival"))
+            if since is not None:
+                last_admit[e.request_id] = e.time - since
         delays = [d for rid, d in last_admit.items() if rid not in dropped]
         with_ttft = [e for e in finishes if "ttft_deadline" in e.data]
         with_tbot = [e for e in finishes if "tbot_target" in e.data]
@@ -251,14 +270,21 @@ class StepMetrics:
             - min(e.data["arrival"] for e in finishes)
             if finishes else 0.0
         )
+        complete = {e.request_id for e in finishes}
+        partial = [
+            rid
+            for rid in trace.request_ids()
+            if rid not in complete and rid not in dropped
+        ]
         hits = trace.of_kind(EventType.PREFIX_HIT)
         return StepMetrics(
             decode_steps=len(steps),
             admits=len(admits),
             preempts=len(trace.of_kind(EventType.PREEMPT)),
             rejects=len(trace.of_kind(EventType.REJECT)),
-            finishes=len(finishes),
+            finishes=len(all_finishes),
             prefill_chunks=len(trace.of_kind(EventType.PREFILL_CHUNK)),
+            partial_requests=len(partial),
             decode_seconds=wall,
             mean_batch_occupancy=float((batches * w).sum()) if w is not None else 0.0,
             peak_batch_occupancy=int(batches.max()) if len(steps) else 0,
@@ -280,9 +306,11 @@ class StepMetrics:
             ),
             goodput=attained / span if span > 0 else 0.0,
             prefix_hits=len(hits),
-            prefix_cached_tokens=int(sum(e.data["cached"] for e in hits)),
+            prefix_cached_tokens=int(
+                sum(e.data.get("cached", 0) for e in hits)
+            ),
             prefix_saved_seconds=float(
-                sum(e.data["saved_seconds"] for e in hits)
+                sum(e.data.get("saved_seconds", 0.0) for e in hits)
             ),
             prefix_hit_rate=len(hits) / len(admits) if admits else 0.0,
         )
@@ -296,6 +324,7 @@ class StepMetrics:
             "rejects": self.rejects,
             "finishes": self.finishes,
             "prefill_chunks": self.prefill_chunks,
+            "partial_requests": self.partial_requests,
             "decode_seconds": self.decode_seconds,
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "peak_batch_occupancy": self.peak_batch_occupancy,

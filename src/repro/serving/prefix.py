@@ -28,7 +28,12 @@ BlockKey = Tuple[Optional[tuple], Tuple[int, ...]]
 class PrefixIndex:
     """LRU set of cached KV-block keys for one serving instance."""
 
-    def __init__(self, block_size: int = 16, capacity_blocks: int = 4096) -> None:
+    def __init__(
+        self,
+        block_size: int = 16,
+        capacity_blocks: int = 4096,
+        telemetry=None,
+    ) -> None:
         if block_size < 1:
             raise ValueError("block_size must be positive")
         if capacity_blocks < 1:
@@ -39,6 +44,9 @@ class PrefixIndex:
         self.hits = 0
         self.misses = 0
         self.evicted_blocks = 0
+        # duck-typed sink (repro.serving.telemetry.Telemetry); optional so
+        # a standalone index (outside a ServerInstance) can publish too
+        self.telemetry = telemetry
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -80,6 +88,9 @@ class PrefixIndex:
             self.hits += 1
         else:
             self.misses += 1
+        if self.telemetry is not None:
+            self.telemetry.on_prefix_lookup(matched)
+            self.telemetry.sample_prefix(self)
         return matched
 
     def insert(self, token_ids: Sequence[int]) -> int:
@@ -96,6 +107,8 @@ class PrefixIndex:
         while len(self._blocks) > self.capacity_blocks:
             self._blocks.popitem(last=False)
             self.evicted_blocks += 1
+        if self.telemetry is not None:
+            self.telemetry.sample_prefix(self)
         return added
 
     @property

@@ -264,14 +264,17 @@ class Router:
         requests: Sequence[RoutedRequest],
         online: bool = False,
         trace: Optional[Trace] = None,
+        telemetry=None,
     ) -> RouterResult:
         """Assign and simulate ``requests``; returns merged latencies.
 
         ``online=False`` (default) keeps the seed's offline assignment;
-        ``online=True`` delegates to :meth:`serve_online`.
+        ``online=True`` delegates to :meth:`serve_online`.  ``telemetry``
+        (opt-in) is forwarded to the cluster so one sink aggregates the
+        whole fleet.
         """
         if online:
-            return self.serve_online(requests, trace=trace)
+            return self.serve_online(requests, trace=trace, telemetry=telemetry)
         n = len(self.instances)
         load_tokens = np.zeros(n)
         load_seconds = np.zeros(n)
@@ -294,13 +297,14 @@ class Router:
             per_tok = 1.0 / max(drain[idx], 1e-6)
             load_seconds[idx] += true_len * per_tok * 4
         cluster = Cluster(self.instances)
-        results = cluster.run(streams, trace=trace)
+        results = cluster.run(streams, trace=trace, telemetry=telemetry)
         return RouterResult(results=results, assignment=assignment, mode="offline")
 
     def serve_online(
         self,
         requests: Sequence[RoutedRequest],
         trace: Optional[Trace] = None,
+        telemetry=None,
     ) -> RouterResult:
         """Route each request at its arrival instant on a shared-clock
         cluster, using live queue depth and KV-token occupancy."""
@@ -311,5 +315,6 @@ class Router:
             pick=lambda req, views, now: self._pick_online(req, views, drain),
             make=lambda req, idx, now: self._make_request(req, idx),
             trace=trace,
+            telemetry=telemetry,
         )
         return RouterResult(results=results, assignment=assignment, mode="online")

@@ -50,7 +50,12 @@ recorded failure instead of stalling the clock.
 Admission order and preemption victims come from a pluggable
 :class:`~repro.serving.scheduler.SchedulerPolicy` (FCFS by default).
 Every decision can be recorded in a :class:`~repro.serving.trace.Trace`
-for step-level observability (``python -m repro.cli trace``).
+for step-level observability (``python -m repro.cli trace``), and the
+same event stream can opt-in feed a live
+:class:`~repro.serving.telemetry.Telemetry` sink (metrics registry +
+dashboard series; ``python -m repro.cli dashboard``) — with
+``telemetry=None`` (the default) the instrumentation adds nothing and
+traces stay bit-for-bit identical to an uninstrumented run.
 """
 
 from __future__ import annotations
@@ -68,7 +73,8 @@ from repro.serving.events import EventLoop
 from repro.serving.prefix import PrefixIndex
 from repro.serving.request import ServingRequest
 from repro.serving.scheduler import FCFSPolicy, SchedulerPolicy
-from repro.serving.trace import EventType, Trace
+from repro.serving.telemetry.core import active as _active_telemetry
+from repro.serving.trace import EventType, Trace, TraceEvent
 
 ADMISSION_MODES = ("reserve", "dynamic")
 
@@ -150,6 +156,7 @@ class ServerInstance:
         self._step_cache: Dict[Tuple[int, int], float] = {}
         self._loop: Optional[EventLoop] = None
         self._trace: Optional[Trace] = None
+        self._telemetry = None
         self._init_state()
 
     def _token_budget(self) -> int:
@@ -199,6 +206,9 @@ class ServerInstance:
             return 0
         cached = min(self.prefix_cache.lookup(req.token_ids), req.prompt_len - 1)
         req.cached_prefix = cached
+        if self._telemetry is not None:
+            self._telemetry.on_prefix_lookup(cached)
+            self._telemetry.sample_prefix(self.prefix_cache)
         if cached:
             saved = (
                 self.cost_model.prefill(1, req.prompt_len, self.comp).seconds
@@ -216,6 +226,8 @@ class ServerInstance:
         """Register a fully-prefilled prompt's blocks for future reuse."""
         if self._prefix_shareable and req.token_ids is not None:
             self.prefix_cache.insert(req.token_ids)
+            if self._telemetry is not None:
+                self._telemetry.sample_prefix(self.prefix_cache)
 
     def _request_tokens(self, req: ServingRequest) -> int:
         """KV tokens a request will occupy at its peak."""
@@ -248,10 +260,23 @@ class ServerInstance:
         self._sstep = 0
         self._smax_prompt = 0
 
-    def attach(self, loop: EventLoop, trace: Optional[Trace] = None) -> None:
-        """Bind this instance to a (possibly shared) event loop."""
+    def attach(
+        self,
+        loop: EventLoop,
+        trace: Optional[Trace] = None,
+        telemetry=None,
+    ) -> None:
+        """Bind this instance to a (possibly shared) event loop.
+
+        ``telemetry`` is an opt-in :class:`~repro.serving.telemetry.
+        Telemetry` sink: every recorded event is also folded into its
+        metrics registry, and each wake-up samples live gauges.  Left
+        ``None`` (or passed a disabled sink), nothing is published and
+        the run is bit-for-bit the uninstrumented one.
+        """
         self._loop = loop
         self._trace = trace
+        self._telemetry = _active_telemetry(telemetry)
         self._init_state()
 
     def submit(self, req: ServingRequest) -> None:
@@ -327,11 +352,15 @@ class ServerInstance:
 
     # ------------------------------------------------------------------
     def run(
-        self, requests: Sequence[ServingRequest], trace: Optional[Trace] = None
+        self,
+        requests: Sequence[ServingRequest],
+        trace: Optional[Trace] = None,
+        telemetry=None,
     ) -> SimulationResult:
         """Serve ``requests`` on a private event loop; returns latencies."""
-        loop = EventLoop()
-        self.attach(loop, trace)
+        telemetry = _active_telemetry(telemetry)
+        loop = EventLoop(telemetry=telemetry)
+        self.attach(loop, trace, telemetry)
         for r in sorted(requests, key=lambda r: r.arrival):
             self.submit(r)
         loop.run()
@@ -355,8 +384,13 @@ class ServerInstance:
         self._loop.schedule(at, self._wake)
 
     def _record(self, time: float, kind: EventType, rid: str = "", **data) -> None:
+        if self._trace is None and self._telemetry is None:
+            return
+        event = TraceEvent(time, kind, rid, self.name, data)
         if self._trace is not None:
-            self._trace.record(time, kind, rid, self.name, **data)
+            self._trace.append(event)
+        if self._telemetry is not None:
+            self._telemetry.on_event(event)
 
     def _record_admit(self, now: float, req: ServingRequest) -> None:
         """ADMIT event carrying the (re)queue epoch and SLO targets."""
@@ -373,6 +407,8 @@ class ServerInstance:
     def _wake(self) -> None:
         self._wake_at = None
         now = self._loop.now
+        if self._telemetry is not None:
+            self._telemetry.sample_instance(now, self)
         # drop stale expected-arrival entries: every arrival event at or
         # before `now` has already fired (setup-scheduled events precede
         # same-time wake-ups), so anything left is an online arrival

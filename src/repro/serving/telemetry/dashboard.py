@@ -1,0 +1,169 @@
+"""ASCII live view of a serving run's telemetry.
+
+:func:`render_dashboard` turns a :class:`Telemetry` sink (and
+optionally the step trace) into a fixed-width text dashboard:
+
+- a top line of SLO attainment / goodput / prefix hit rate folded from
+  the trace (the same numbers ``StepMetrics`` reports),
+- event counters per kind,
+- per-instance sampled time series (queue depth, running batch, KV
+  occupancy) rendered as unicode sparklines,
+- latency histograms (TTFT, TBOT, queue delay, prefill, decode step)
+  as bucket sparklines with count / mean / p50 / p99.
+
+``python -m repro.cli dashboard`` drives a simulated stream through an
+instance and renders this view — either once at the end, or repeatedly
+while the simulated clock advances (``--refresh``), which is the "live"
+mode: each frame re-renders the dashboard from the registry as it
+stands mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.serving.metrics import StepMetrics
+from repro.serving.telemetry.core import Telemetry
+from repro.serving.telemetry.registry import Histogram
+from repro.serving.trace import Trace
+
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """Resample ``values`` to ``width`` columns of unicode blocks.
+
+    Scaled min→max; a flat series renders as a run of the lowest block
+    so "no variation" and "no data" stay distinguishable ("" if empty).
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        # mean-pool into `width` buckets so spikes are kept in scale
+        bucketed = []
+        for i in range(width):
+            lo = i * len(vals) // width
+            hi = max(lo + 1, (i + 1) * len(vals) // width)
+            chunk = vals[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        vals = bucketed
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return BLOCKS[0] * len(vals)
+    return "".join(
+        BLOCKS[min(len(BLOCKS) - 1, int((v - lo) / span * len(BLOCKS)))]
+        for v in vals
+    )
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or float(v).is_integer() and abs(v) < 1e6:
+        return f"{v:,.0f}"
+    if abs(v) >= 1:
+        return f"{v:.2f}"
+    return f"{v:.4f}"
+
+
+def _hist_line(name: str, hist: Histogram, width: int) -> Optional[str]:
+    counts, total, n = hist.aggregate()
+    if n == 0:
+        return None
+    spark = sparkline([float(c) for c in counts], width=24)
+    mean = total / n
+    return (
+        f"  {name:12s} {spark:24s} n={n:<6d} mean={mean:8.4f}s "
+        f"p50={hist.quantile(0.5):.4f}s p99={hist.quantile(0.99):.4f}s"
+    )
+
+
+def render_dashboard(
+    telemetry: Telemetry,
+    trace: Optional[Trace] = None,
+    width: int = 78,
+) -> str:
+    """Render the dashboard; pure function of the sink (and trace)."""
+    bar = "─" * width
+    lines: List[str] = []
+    labels = " ".join(f"{k}={v}" for k, v in telemetry.labels.items())
+    clock = telemetry.loop_now.value()
+    fired = telemetry.loop_fired.value()
+    title = "serving telemetry"
+    lines.append(f"┌{bar}┐"[: width + 2])
+    head = f"│ {title}  {labels}".ljust(width + 1) + "│"
+    lines.append(head[: width + 2])
+    lines.append(
+        (f"│ clock={clock:.3f}s events_fired={fired:,.0f}".ljust(width + 1) + "│")[
+            : width + 2
+        ]
+    )
+    lines.append(f"└{bar}┘"[: width + 2])
+
+    # top line: trace-folded SLO attainment and throughput
+    if trace is not None and len(trace):
+        m = StepMetrics.from_trace(trace)
+        lines.append("SLO / throughput")
+        lines.append(
+            f"  ttft_attainment={m.ttft_attainment:.2f} "
+            f"tbot_attainment={m.tbot_attainment:.2f} "
+            f"goodput={m.goodput:.1f} tok/s "
+            f"prefix_hit_rate={m.prefix_hit_rate:.2f}"
+        )
+        lines.append(
+            f"  admits={m.admits} finishes={m.finishes} "
+            f"preempts={m.preempts} rejects={m.rejects} "
+            f"partial={m.partial_requests} "
+            f"mean_tbot={m.mean_tbot * 1e3:.1f}ms "
+            f"p99_tbot={m.p99_tbot * 1e3:.1f}ms"
+        )
+
+    # event counters per kind
+    kinds = {}
+    for labelset, v in telemetry.events_total.series():
+        kind = labelset.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0.0) + v
+    if kinds:
+        lines.append("events")
+        lines.append(
+            "  " + " ".join(f"{k}={int(v)}" for k, v in sorted(kinds.items()))
+        )
+
+    # per-instance sampled gauge series → sparklines
+    by_metric = {}
+    for (inst, metric), pts in sorted(telemetry.series.items()):
+        by_metric.setdefault(metric, []).append((inst, pts))
+    for metric in ("queue_depth", "running", "kv_occupancy", "loop_pending"):
+        rows = by_metric.get(metric)
+        if not rows:
+            continue
+        lines.append(metric)
+        for inst, pts in rows:
+            vals = [v for _, v in pts]
+            name = inst or "-"
+            spark = sparkline(vals, width=min(48, width - 28))
+            lines.append(
+                f"  {name:8s} {spark} last={_fmt(vals[-1])} "
+                f"max={_fmt(max(vals))}"
+            )
+
+    # latency histograms
+    hists = [
+        ("ttft", telemetry.ttft),
+        ("tbot", telemetry.tbot),
+        ("queue_delay", telemetry.queue_delay),
+        ("prefill", telemetry.prefill_seconds),
+        ("decode_step", telemetry.step_seconds),
+    ]
+    hist_lines = [
+        line
+        for name, h in hists
+        for line in [_hist_line(name, h, width)]
+        if line is not None
+    ]
+    if hist_lines:
+        lines.append("latency histograms (log-spaced buckets)")
+        lines.extend(hist_lines)
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Trace exporters: JSONL dump/load and Chrome ``trace_event`` JSON.
+
+JSONL is the machine-readable archive format: one event per line,
+loss-free (:func:`load_jsonl` rebuilds a :class:`Trace` whose
+``StepMetrics.from_trace`` fold is *exactly* the in-memory one — floats
+round-trip through ``json`` by value), and tolerant of truncation (a
+half-written final line is skipped, and the partial-trace-aware folds
+report the requests it cut off instead of crashing).  That makes traces
+replayable artifacts: tests and offline analysis recompute every
+serving metric from a file.
+
+The Chrome exporter emits the ``trace_event`` JSON object format
+(``{"traceEvents": [...]}``) so a *simulated* serving run opens in
+``chrome://tracing`` / Perfetto like a real profile: one process per
+serving instance, one thread lane per request, complete (``"X"``)
+events for the span tree :func:`build_spans` derives (children nested
+inside their request's root span by containment), instant (``"i"``)
+markers for preemptions/rejections/prefix hits, and counter (``"C"``)
+tracks for KV occupancy and batch size.  Timestamps are microseconds,
+per the spec.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from repro.serving.telemetry.spans import Span, build_spans
+from repro.serving.trace import EventType, Trace, TraceEvent
+
+PathLike = Union[str, pathlib.Path]
+
+_US = 1e6  # trace_event timestamps are microseconds
+
+
+def event_to_obj(e: TraceEvent) -> dict:
+    """One event as a JSON-ready dict (the JSONL line schema)."""
+    return {
+        "time": e.time,
+        "kind": e.kind.value,
+        "request_id": e.request_id,
+        "instance": e.instance,
+        "data": e.data,
+    }
+
+
+def dump_jsonl(trace: Trace, path: PathLike) -> int:
+    """Write ``trace`` as JSON-lines; returns the event count."""
+    path = pathlib.Path(path)
+    with path.open("w") as fp:
+        for e in trace.events:
+            fp.write(json.dumps(event_to_obj(e)) + "\n")
+    return len(trace.events)
+
+
+def load_jsonl(path: PathLike) -> Trace:
+    """Rebuild a :class:`Trace` from a JSONL export.
+
+    Corrupt lines (e.g. the half-written tail of a dump truncated
+    mid-run) are skipped, not fatal — the partial-trace-tolerant folds
+    downstream account for the requests they cut off.
+    """
+    trace = Trace()
+    path = pathlib.Path(path)
+    with path.open() as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                kind = EventType(obj["kind"])
+                time = float(obj["time"])
+            except (ValueError, KeyError, TypeError):
+                continue  # truncated / corrupt line
+            trace.append(
+                TraceEvent(
+                    time=time,
+                    kind=kind,
+                    request_id=str(obj.get("request_id", "")),
+                    instance=str(obj.get("instance", "")),
+                    data=dict(obj.get("data", {})),
+                )
+            )
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def _span_events(
+    span: Span, pid: int, tid: int, out: List[dict]
+) -> None:
+    ph = "X"
+    evt = {
+        "name": span.name,
+        "cat": "serving",
+        "ph": ph,
+        "ts": span.start * _US,
+        "dur": max(0.0, span.duration) * _US,
+        "pid": pid,
+        "tid": tid,
+        "args": dict(span.meta),
+    }
+    out.append(evt)
+    for child in span.children:
+        _span_events(child, pid, tid, out)
+
+
+def to_chrome_trace(
+    trace: Trace, spans: Optional[List[Span]] = None
+) -> dict:
+    """Render ``trace`` as a Chrome/Perfetto ``trace_event`` object.
+
+    One *process* per serving instance (unnamed instances fold into a
+    ``serving`` process), one *thread* lane per request carrying its
+    nested span tree, plus instant markers and KV/batch counter tracks.
+    """
+    if spans is None:
+        spans = build_spans(trace)
+    events: List[dict] = []
+    pids: Dict[str, int] = {}
+
+    def pid_for(instance: str) -> int:
+        if instance not in pids:
+            pids[instance] = len(pids) + 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[instance],
+                    "tid": 0,
+                    "args": {"name": instance or "serving"},
+                }
+            )
+        return pids[instance]
+
+    for tid, root in enumerate(spans, start=1):
+        pid = pid_for(root.instance)
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": root.request_id or f"lane {tid}"},
+            }
+        )
+        _span_events(root, pid, tid, events)
+
+    tids = {root.request_id: tid for tid, root in enumerate(spans, start=1)}
+    for e in trace.events:
+        pid = pid_for(e.instance)
+        if e.kind in (EventType.PREEMPT, EventType.REJECT):
+            events.append(
+                {
+                    "name": e.kind.value,
+                    "cat": "serving",
+                    "ph": "i",
+                    "s": "t",  # thread-scoped instant
+                    "ts": e.time * _US,
+                    "pid": pid,
+                    "tid": tids.get(e.request_id, 0),
+                    "args": dict(e.data),
+                }
+            )
+        elif e.kind is EventType.DECODE_STEP:
+            args = {}
+            if "used_tokens" in e.data:
+                args["kv_used_tokens"] = e.data["used_tokens"]
+            if "batch" in e.data:
+                args["batch"] = e.data["batch"]
+            if args:
+                events.append(
+                    {
+                        "name": "kv_and_batch",
+                        "cat": "serving",
+                        "ph": "C",
+                        "ts": e.time * _US,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": args,
+                    }
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Trace, path: PathLike) -> int:
+    """Write the Chrome export; returns the ``traceEvents`` count."""
+    doc = to_chrome_trace(trace)
+    pathlib.Path(path).write_text(json.dumps(doc) + "\n")
+    return len(doc["traceEvents"])

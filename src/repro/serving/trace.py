@@ -34,6 +34,15 @@ latencies; they match ``SimulationResult.e2e`` exactly, which is the
 invariant the trace tests pin.  ``repro.serving.metrics.StepMetrics``
 aggregates a trace into queue-delay / TBOT / occupancy / budget
 summaries, and ``python -m repro.cli trace`` dumps a run's timeline.
+
+The collector keeps per-kind and per-request indices updated on every
+:meth:`Trace.record`, so :meth:`Trace.of_kind` / :meth:`Trace.for_request`
+are O(matches) instead of O(N) scans — ``StepMetrics.from_trace`` calls
+them many times per fold.  Folding is tolerant of *partial* traces (a
+JSONL export truncated mid-run, or events missing payload keys): events
+without the keys a fold needs are skipped rather than raising
+``KeyError``, and ``StepMetrics.partial_requests`` counts the requests
+left incomplete.
 """
 
 from __future__ import annotations
@@ -56,6 +65,22 @@ class EventType(str, enum.Enum):
     REJECT = "REJECT"
 
 
+def _render_value(v) -> str:
+    """Payload value formatting for the rendered timeline.
+
+    Bools render as ``1``/``0`` (not ``True``), ints get thousands
+    separators, floats four decimals; exporters rely on this exact
+    format, pinned by a golden test.
+    """
+    if isinstance(v, bool):
+        return "1" if v else "0"
+    if isinstance(v, float):
+        return f"{v:.4f}"
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)
+
+
 @dataclass
 class TraceEvent:
     """One timestamped scheduling event."""
@@ -69,8 +94,7 @@ class TraceEvent:
     def render(self) -> str:
         """One timeline line (fixed-width prefix, key=value payload)."""
         payload = " ".join(
-            f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}"
-            for k, v in self.data.items()
+            f"{k}={_render_value(v)}" for k, v in self.data.items()
         )
         rid = self.request_id or "-"
         inst = f"[{self.instance}] " if self.instance else ""
@@ -78,10 +102,19 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only collector of :class:`TraceEvent`."""
+    """Append-only collector of :class:`TraceEvent` with per-kind and
+    per-request indices maintained on record."""
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
+        self._by_kind: Dict[EventType, List[TraceEvent]] = {}
+        self._by_request: Dict[str, List[TraceEvent]] = {}
+
+    def append(self, event: TraceEvent) -> None:
+        """Append an already-built event, keeping the indices current."""
+        self.events.append(event)
+        self._by_kind.setdefault(event.kind, []).append(event)
+        self._by_request.setdefault(event.request_id, []).append(event)
 
     def record(
         self,
@@ -92,22 +125,26 @@ class Trace:
         **data: float,
     ) -> None:
         """Append one event."""
-        self.events.append(TraceEvent(time, kind, request_id, instance, data))
+        self.append(TraceEvent(time, kind, request_id, instance, data))
 
     def of_kind(self, kind: EventType) -> List[TraceEvent]:
-        """All events of one kind, in time order."""
-        return [e for e in self.events if e.kind == kind]
+        """All events of one kind, in time order (indexed, O(matches))."""
+        return list(self._by_kind.get(kind, ()))
 
     def for_request(self, request_id: str) -> List[TraceEvent]:
-        """All events touching one request."""
-        return [e for e in self.events if e.request_id == request_id]
+        """All events touching one request (indexed, O(matches))."""
+        return list(self._by_request.get(request_id, ()))
+
+    def request_ids(self) -> List[str]:
+        """Distinct non-empty request ids, in first-appearance order."""
+        return [rid for rid in self._by_request if rid]
 
     def counts(self) -> Dict[str, int]:
         """Event-kind histogram."""
-        out: Dict[str, int] = {}
-        for e in self.events:
-            out[e.kind.value] = out.get(e.kind.value, 0) + 1
-        return out
+        return {
+            kind.value: len(events)
+            for kind, events in self._by_kind.items()
+        }
 
     def render_timeline(self, limit: Optional[int] = None) -> str:
         """Human-readable timeline (optionally truncated to ``limit``)."""
@@ -126,11 +163,13 @@ def request_latencies(trace: Trace) -> Dict[str, float]:
 
     ``FINISH.time - FINISH.data["arrival"]`` — exactly what the
     simulator stores on each request, so these match
-    ``SimulationResult.e2e`` with no tolerance.
+    ``SimulationResult.e2e`` with no tolerance.  FINISH events missing
+    ``arrival`` (hand-built or truncated partial traces) are skipped.
     """
     out: Dict[str, float] = {}
     for e in trace.of_kind(EventType.FINISH):
-        out[e.request_id] = e.time - e.data["arrival"]
+        if "arrival" in e.data:
+            out[e.request_id] = e.time - e.data["arrival"]
     return out
 
 
@@ -141,9 +180,12 @@ def queue_delays(trace: Trace) -> Dict[str, float]:
     fresh request, the preemption instant for a re-admission — so a
     preempted request's second wait is not double-counted from its
     original arrival.  The last ADMIT wins, matching
-    ``ServingRequest.queue_delay`` exactly.
+    ``ServingRequest.queue_delay`` exactly.  ADMIT events carrying
+    neither epoch (partial traces) are skipped.
     """
     out: Dict[str, float] = {}
     for e in trace.of_kind(EventType.ADMIT):
-        out[e.request_id] = e.time - e.data.get("queued_at", e.data["arrival"])
+        since = e.data.get("queued_at", e.data.get("arrival"))
+        if since is not None:
+            out[e.request_id] = e.time - since
     return out
