@@ -1,0 +1,145 @@
+"""Benchmark: serving-core simulation throughput at scale.
+
+Drives one saturated instance through the serving-core Poisson
+workload (3072 requests, ~80k trace events) twice — once on the
+columnar :class:`Trace` with the vectorized folds ("after"), once on
+:class:`ObjectTrace` with the legacy per-event folds ("before") — and
+records simulated requests/sec and trace events/sec for both in
+``results/BENCH_serving.json``, together with the frozen pre-refactor
+seed baseline.
+
+Two acceptance gates fail CI on regression:
+
+- the columnar path must stay >= ``FLOOR_RPS`` requests/sec, and
+- it must hold a >= 10x speedup over the in-run object-path
+  measurement (the same machine, so the ratio is hardware-independent).
+
+Both paths assert fold equality inline, so this doubles as a
+large-scale equivalence check.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.compression import NoCompression
+from repro.engines import LMDEPLOY, ServingCostModel
+from repro.hardware import A6000
+from repro.model.arch import LLAMA_7B
+from repro.serving import (
+    ObjectTrace,
+    ServerInstance,
+    ServingRequest,
+    StepMetrics,
+    Trace,
+    queue_delays,
+    request_latencies,
+)
+
+FP16 = NoCompression().cost_spec()
+
+#: requests in the scale scenario (paper-scale; REPRO_SCALE=smoke shrinks it)
+N_REQUESTS = 3072 if os.environ.get("REPRO_SCALE") != "smoke" else 512
+
+#: absolute floor for the columnar path at N_REQUESTS=3072, simulated
+#: requests/sec.  Measured 5488.6 req/s on the reference container —
+#: the floor leaves >5x headroom for slower CI machines while staying
+#: >3x above the object path.
+FLOOR_RPS = 1000.0
+
+#: minimum columnar-vs-object speedup (same machine, same run)
+MIN_SPEEDUP = 10.0
+
+#: pre-refactor seed baseline, measured from the pre-refactor tree on
+#: the reference container at N_REQUESTS=3072 (object trace, per-event
+#: recording, object folds, per-step scheduler scans): the "before"
+#: column of the tentpole's before/after comparison.
+SEED_BASELINE = {"requests_per_sec": 184.9, "events_per_sec": 4829.0}
+
+
+def _instance():
+    return ServerInstance(
+        ServingCostModel(LLAMA_7B, A6000, LMDEPLOY), FP16
+    )
+
+
+def _stream(n):
+    # serving-core shape: Poisson arrivals at 8 rps, long prompts and
+    # responses so the KV budget binds and the queue grows deep
+    rng = np.random.default_rng(7)
+    arr = np.cumsum(rng.exponential(1.0 / 8.0, size=n))
+    prompts = rng.integers(512, 3072, size=n)
+    resps = rng.integers(128, 1024, size=n)
+    prios = rng.integers(0, 4, size=n)
+    return [
+        ServingRequest(
+            f"r{i}", float(arr[i]), int(prompts[i]), int(resps[i]),
+            priority=int(prios[i]),
+        )
+        for i in range(n)
+    ]
+
+
+def _measure(trace):
+    """Run the scenario on ``trace``; returns (metrics dict, folds)."""
+    reqs = _stream(N_REQUESTS)
+    inst = _instance()
+    t0 = time.perf_counter()
+    res = inst.run(reqs, trace=trace)
+    t_run = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    m = StepMetrics.from_trace(trace)
+    lats = request_latencies(trace)
+    delays = queue_delays(trace)
+    t_fold = time.perf_counter() - t0
+    total = t_run + t_fold
+    assert len(res.completed) == N_REQUESTS
+    return (
+        {
+            "requests": N_REQUESTS,
+            "events": len(trace),
+            "run_seconds": t_run,
+            "fold_seconds": t_fold,
+            "requests_per_sec": N_REQUESTS / total,
+            "events_per_sec": len(trace) / total,
+        },
+        (m, lats, delays),
+    )
+
+
+def test_serving_scale(benchmark, record_bench_json):
+    def run():
+        after, col_folds = _measure(Trace())
+        before, obj_folds = _measure(ObjectTrace())
+        # same workload, same simulator: the folds must agree exactly
+        assert col_folds == obj_folds
+        return after, before
+
+    after, before = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = after["requests_per_sec"] / before["requests_per_sec"]
+    record_bench_json(
+        "serving_scale",
+        {
+            "columnar": after,
+            "object_path": before,
+            "seed_baseline": SEED_BASELINE,
+            "speedup_vs_object": speedup,
+            "speedup_vs_seed": (
+                after["requests_per_sec"]
+                / SEED_BASELINE["requests_per_sec"]
+            ),
+            "floor_requests_per_sec": FLOOR_RPS,
+        },
+    )
+    if N_REQUESTS >= 3072:
+        # acceptance gates (full scale only: at smoke scale the trace
+        # is too small for the fold/record savings to dominate)
+        assert after["requests_per_sec"] >= FLOOR_RPS, (
+            f"columnar serving throughput {after['requests_per_sec']:.0f} "
+            f"req/s fell below the {FLOOR_RPS:.0f} req/s floor"
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"columnar path is only {speedup:.1f}x the object path "
+            f"(need >= {MIN_SPEEDUP:.0f}x)"
+        )

@@ -12,9 +12,10 @@ time those invocations take.  Wall-clock A/B of two full serving runs
 cannot resolve that delta on a shared machine: the hooks cost a few
 milliseconds while scheduler jitter moves a ~150 ms run by tens of
 milliseconds.  The bound asserted here is therefore measured
-deterministically: replay the *exact* hook-call sequence of the
-enabled run (every recorded event, plus the sampled gauge calls at
-their observed counts) against a fresh sink, best-of-N, and divide by
+deterministically: record the *exact* hook-call sequence of an
+enabled run (per-event ``on_event`` calls, batched ``on_decode_steps``
+bursts, and the sampled gauge calls, in order), replay it against a
+fresh sink, best-of-N, and divide by
 the best plain-path wall time.  Underestimating the plain time only
 *inflates* the reported overhead, so the bound is conservative.  The
 full-run A/B wall times are still recorded for reference.
@@ -77,21 +78,51 @@ def _run_once(telemetry):
     return time.perf_counter() - t0, trace, inst
 
 
-def _hook_seconds(events, inst, n_samples, n_loop):
+class _RecordingTelemetry(Telemetry):
+    """A real sink that also logs every hook invocation, so the replay
+    measures the *exact* call sequence of the enabled run — including
+    which decode steps arrived via the batched ``on_decode_steps``
+    burst hook and which took the per-event path."""
+
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.calls = []
+
+    def on_event(self, e):
+        self.calls.append(("on_event", (e,)))
+        super().on_event(e)
+
+    def on_decode_steps(self, *args):
+        self.calls.append(("on_decode_steps", args))
+        super().on_decode_steps(*args)
+
+    def sample_instance(self, now, inst):
+        self.calls.append(("sample_instance", (now, inst)))
+        super().sample_instance(now, inst)
+
+    def on_loop(self, now, pending, fired):
+        self.calls.append(("on_loop", (now, pending, fired)))
+        super().on_loop(now, pending, fired)
+
+
+def _hook_seconds(calls):
     """Best-of-N wall time of the enabled path's extra work: the exact
-    hook-call sequence a full enabled run makes."""
+    hook-call sequence a full enabled run makes (the dispatch overhead
+    of the replay loop itself only inflates the bound)."""
     best = float("inf")
     for _ in range(REPLAY_ROUNDS):
         sink = Telemetry(labels={"policy": "fcfs", "compression": "fp16"})
-        on_event = sink.on_event
+        hooks = {
+            "on_event": sink.on_event,
+            "on_decode_steps": sink.on_decode_steps,
+            "sample_instance": sink.sample_instance,
+            "on_loop": sink.on_loop,
+        }
+        seq = [(hooks[name], args) for name, args in calls]
         gc.collect()
         t0 = time.perf_counter()
-        for e in events:
-            on_event(e)
-        for i in range(n_samples):
-            sink.sample_instance(0.01 * i, inst)
-        for i in range(n_loop):
-            sink.on_loop(0.01 * i, 4, i)
+        for hook, args in seq:
+            hook(*args)
         best = min(best, time.perf_counter() - t0)
     return best
 
@@ -108,6 +139,9 @@ def test_telemetry_overhead(benchmark, record_bench_json):
         tel = Telemetry(labels={"policy": "fcfs", "compression": "fp16"})
         dt, tel_trace, tel_inst = _run_once(tel)
         tel_times.append(dt)
+    # one instrumented run to capture the exact hook-call sequence
+    rec = _RecordingTelemetry(labels={"policy": "fcfs", "compression": "fp16"})
+    _run_once(rec)
 
     def measured():
         return _run_once(None)[0]
@@ -126,11 +160,11 @@ def test_telemetry_overhead(benchmark, record_bench_json):
     _, _, n_ttft = tel.ttft.aggregate()
     assert n_ttft == 64
 
-    # deterministic overhead bound: time the enabled run's hook-call
-    # sequence at the counts the real run produced
+    # deterministic overhead bound: time the enabled run's recorded
+    # hook-call sequence exactly as the real run made it
     n_samples = len(tel.series[(tel_inst.name, "queue_depth")])
     n_loop = tel._loop_tick
-    hook = _hook_seconds(tel_trace.events, tel_inst, n_samples, n_loop)
+    hook = _hook_seconds(rec.calls)
     overhead = hook / best_plain
 
     record_bench_json(

@@ -167,6 +167,17 @@ def run_trace(args) -> int:
         "== step metrics ==",
         StepMetrics.from_trace(trace).render(),
     ]
+    stats = trace.memory_stats()
+    lines += [
+        "",
+        "== trace buffer ==",
+        (
+            f"events={stats['events']:,} capacity={stats['capacity']:,} "
+            f"payload_columns={stats['payload_columns']} "
+            f"buffer_bytes={stats['buffer_bytes']:,} "
+            f"dropped={stats['dropped_events']}"
+        ),
+    ]
     if result.completed:
         lines += [
             "",

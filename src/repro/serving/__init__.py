@@ -35,6 +35,7 @@ from repro.serving.telemetry import (
 )
 from repro.serving.trace import (
     EventType,
+    ObjectTrace,
     Trace,
     TraceEvent,
     queue_delays,
@@ -75,6 +76,7 @@ __all__ = [
     "write_chrome_trace",
     "render_dashboard",
     "EventType",
+    "ObjectTrace",
     "Trace",
     "TraceEvent",
     "queue_delays",

@@ -1,5 +1,14 @@
 """Latency aggregation helpers (TTFT, TBOT, queue delay, E2E, CDFs)
 plus step-level aggregates over a serving :class:`~repro.serving.trace.Trace`.
+
+Both folds are **columnar**: :meth:`StepMetrics.from_trace` on a
+columnar :class:`Trace` never materializes an event — every statistic
+is a masked NumPy reduction over the kind/time/payload columns — and
+:meth:`LatencySummary.from_requests` gathers request attributes into
+arrays once and reduces.  Handed an
+:class:`~repro.serving.trace.ObjectTrace` (or any duck-typed trace),
+``from_trace`` falls back to the original per-event scan; the
+equivalence suite pins both paths to bit-identical results.
 """
 
 from __future__ import annotations
@@ -75,6 +84,12 @@ class LatencySummary:
         """Build from served :class:`~repro.serving.request.ServingRequest`
         records, including mean TBOT and queue delay.
 
+        Request attributes are gathered into NumPy arrays in one pass
+        and every statistic is an array reduction; the results are
+        bit-identical to the old per-request Python fold (integer sums
+        stay exact in float64, and the sample orders feeding means and
+        percentiles are unchanged).
+
         A stream where every request was rejected yields the
         :meth:`degenerate` all-zero summary instead of raising, so
         experiments under tight token budgets report cleanly.
@@ -82,37 +97,58 @@ class LatencySummary:
         served = [r for r in requests if not getattr(r, "rejected", False)]
         if not served:
             return LatencySummary.degenerate()
-        base = LatencySummary.from_samples([r.e2e_latency for r in served])
-        tbots = [r.tbot for r in served if r.generated > 1]
-        with_ttft = [r for r in served if getattr(r, "ttft_deadline", None) is not None]
-        with_tbot = [r for r in served if getattr(r, "tbot_target", None) is not None]
-        span = max(r.finish for r in served) - min(r.arrival for r in served)
-        attained = sum(
-            r.generated for r in served if getattr(r, "slo_met", True)
+        n = len(served)
+        e2e = np.fromiter((r.e2e_latency for r in served), float, count=n)
+        base = LatencySummary.from_samples(e2e)
+        gen = np.fromiter((r.generated for r in served), np.int64, count=n)
+        tbots = np.fromiter(
+            (r.tbot for r in served if r.generated > 1), float
         )
-        cached = [getattr(r, "cached_prefix", 0) for r in served]
-        any_hit = any(c > 0 for c in cached)
+        has_ttft = np.fromiter(
+            (getattr(r, "ttft_deadline", None) is not None for r in served),
+            bool, count=n,
+        )
+        has_tbot = np.fromiter(
+            (getattr(r, "tbot_target", None) is not None for r in served),
+            bool, count=n,
+        )
+        n_ttft = int(has_ttft.sum())
+        n_tbot = int(has_tbot.sum())
+        ttft_met = (
+            sum(r.ttft_met for r, h in zip(served, has_ttft) if h)
+            if n_ttft else 0
+        )
+        tbot_met = (
+            sum(r.tbot_met for r, h in zip(served, has_tbot) if h)
+            if n_tbot else 0
+        )
+        finish = np.fromiter((r.finish for r in served), float, count=n)
+        arrival = np.fromiter((r.arrival for r in served), float, count=n)
+        span = float(finish.max() - arrival.min())
+        slo_ok = np.fromiter(
+            (getattr(r, "slo_met", True) for r in served), bool, count=n
+        )
+        attained = int(gen[slo_ok].sum())
+        cached = np.fromiter(
+            (getattr(r, "cached_prefix", 0) for r in served),
+            np.int64, count=n,
+        )
+        hits = cached > 0
+        any_hit = bool(hits.any())
+        qd = np.fromiter((r.queue_delay for r in served), float, count=n)
         return LatencySummary(
             mean=base.mean,
             p50=base.p50,
             p90=base.p90,
             p99=base.p99,
             max=base.max,
-            tbot=float(np.mean(tbots)) if tbots else 0.0,
-            queue_delay=float(np.mean([r.queue_delay for r in served])),
-            ttft_attainment=(
-                sum(r.ttft_met for r in with_ttft) / len(with_ttft)
-                if with_ttft else None
-            ),
-            tbot_attainment=(
-                sum(r.tbot_met for r in with_tbot) / len(with_tbot)
-                if with_tbot else None
-            ),
+            tbot=float(np.mean(tbots)) if tbots.size else 0.0,
+            queue_delay=float(np.mean(qd)),
+            ttft_attainment=ttft_met / n_ttft if n_ttft else None,
+            tbot_attainment=tbot_met / n_tbot if n_tbot else None,
             goodput=attained / span if span > 0 else 0.0,
-            prefix_hit_rate=(
-                sum(c > 0 for c in cached) / len(served) if any_hit else None
-            ),
-            cached_prefix_tokens=sum(cached) if any_hit else None,
+            prefix_hit_rate=int(hits.sum()) / n if any_hit else None,
+            cached_prefix_tokens=int(cached.sum()) if any_hit else None,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -174,7 +210,7 @@ class StepMetrics:
     prefix_hit_rate: float
 
     @staticmethod
-    def from_trace(trace: Trace) -> "StepMetrics":
+    def from_trace(trace) -> "StepMetrics":
         """Fold a trace into scheduler-level summaries.
 
         ``max_decode_gap`` is the largest interval between consecutive
@@ -210,7 +246,184 @@ class StepMetrics:
         request ids that appear in the trace without a complete FINISH
         or a REJECT.  On a complete trace it is zero and every number
         matches the strict fold exactly.
+
+        Columnar traces fold as masked reductions over the columns
+        (:meth:`_from_columns`); anything else takes the per-event scan
+        (:meth:`_from_events`).  Both return bit-identical results.
         """
+        if isinstance(trace, Trace):
+            return StepMetrics._from_columns(trace)
+        return StepMetrics._from_events(trace)
+
+    @staticmethod
+    def _from_columns(trace: Trace) -> "StepMetrics":
+        """Vectorized fold over a columnar trace.
+
+        Exactness notes (these keep the fold bit-for-bit equal to
+        :meth:`_from_events`): integer payloads are exact in float64,
+        so int/int Python divisions equal the float64 divisions here;
+        array orders feeding ``np.mean``/``np.percentile`` match the
+        event orders of the scan; and ``prefix_saved_seconds`` keeps
+        the scan's *sequential* left-to-right float summation, which
+        NumPy's pairwise ``sum`` would not reproduce.
+        """
+        n = len(trace)
+        time = trace._time[:n]
+        req = trace._req[:n]
+
+        def present(rows: np.ndarray, *keys: str) -> np.ndarray:
+            mask = np.ones(len(rows), dtype=bool)
+            for key in keys:
+                _, p = trace.payload(key)
+                if p is None:
+                    return np.zeros(len(rows), dtype=bool)
+                mask &= p[rows]
+            return mask
+
+        step_rows = trace.rows_of(EventType.DECODE_STEP)
+        step_rows = step_rows[
+            present(
+                step_rows, "seconds", "batch", "used_tokens", "token_budget"
+            )
+        ]
+        if len(step_rows):
+            secs = trace.payload("seconds")[0][step_rows]
+            batches = trace.payload("batch")[0][step_rows]
+            utils = trace.payload("used_tokens")[0][step_rows] / np.maximum(
+                trace.payload("token_budget")[0][step_rows], 1.0
+            )
+            times = time[step_rows]
+        else:
+            secs = batches = utils = times = np.empty(0)
+        wall = float(secs.sum())
+        w = secs / wall if wall > 0 else None
+
+        fin_rows = trace.rows_of(EventType.FINISH)
+        n_finishes_all = len(fin_rows)
+        frows = fin_rows[present(fin_rows, "arrival", "first_token", "generated")]
+        if len(frows):
+            f_time = time[frows]
+            f_arr = trace.payload("arrival")[0][frows]
+            f_ft = trace.payload("first_token")[0][frows]
+            f_gen = trace.payload("generated")[0][frows]
+        else:
+            f_time = f_arr = f_ft = f_gen = np.empty(0)
+
+        # token streams in flight: a gap only stalls a client whose
+        # stream covers it entirely.  Sort streams by first_token and
+        # keep a running max of finish times; then "some stream covers
+        # (t1, t2)" is one searchsorted lookup per gap instead of the
+        # scan's O(steps x finishes) inner loop.
+        gap = 0.0
+        if len(times) > 1 and len(frows):
+            t1, t2 = times[:-1], times[1:]
+            order = np.argsort(f_ft, kind="stable")
+            starts = f_ft[order]
+            end_max = np.maximum.accumulate(f_time[order])
+            idx = np.searchsorted(starts, t1, side="right") - 1
+            covered = np.zeros(len(t1), dtype=bool)
+            ok = idx >= 0
+            covered[ok] = end_max[idx[ok]] >= t2[ok]
+            if covered.any():
+                gap = float((t2 - t1)[covered].max())
+
+        multi = f_gen > 1
+        tbots = (f_time[multi] - f_ft[multi]) / (f_gen[multi] - 1.0)
+
+        admit_rows = trace.rows_of(EventType.ADMIT)
+        reject_rows = trace.rows_of(EventType.REJECT)
+        dropped = set(req[reject_rows].tolist())
+        # last admission per request, measured from its (re)queue epoch;
+        # requests that were admitted but later dropped mid-decode are
+        # excluded (they were never served)
+        qa, qa_p = trace.payload("queued_at")
+        ar, ar_p = trace.payload("arrival")
+        last_admit: Dict[int, float] = {}
+        for i in admit_rows.tolist():
+            if qa_p is not None and qa_p[i]:
+                since = qa[i]
+            elif ar_p is not None and ar_p[i]:
+                since = ar[i]
+            else:
+                continue
+            last_admit[int(req[i])] = float(time[i] - since)
+        delays = [d for rid, d in last_admit.items() if rid not in dropped]
+
+        def miss_truthy(key: str) -> np.ndarray:
+            v, p = trace.payload(key)
+            if p is None or not len(frows):
+                return np.zeros(len(frows), dtype=bool)
+            return p[frows] & (v[frows] != 0)
+
+        n_ttft = int(present(frows, "ttft_deadline").sum())
+        n_ttft_miss = int(present(frows, "ttft_deadline", "ttft_miss").sum())
+        n_tbot = int(present(frows, "tbot_target").sum())
+        n_tbot_miss = int(present(frows, "tbot_target", "tbot_miss").sum())
+        att = ~miss_truthy("ttft_miss") & ~miss_truthy("tbot_miss")
+        attained = int(f_gen[att].sum()) if len(frows) else 0
+        span = float(f_time.max() - f_arr.min()) if len(frows) else 0.0
+
+        complete = set(req[frows].tolist())
+        partial = sum(
+            1
+            for rid in range(1, len(trace._req_names))
+            if rid not in complete and rid not in dropped
+        )
+
+        hit_rows = trace.rows_of(EventType.PREFIX_HIT)
+        cached_total = 0
+        saved = 0.0
+        if len(hit_rows):
+            cv, cp = trace.payload("cached")
+            if cp is not None:
+                cached_total = int(cv[hit_rows][cp[hit_rows]].sum())
+            sv, sp = trace.payload("saved_seconds")
+            if sp is not None:
+                # sequential sum, matching the event scan bit-for-bit
+                for i in hit_rows.tolist():
+                    if sp[i]:
+                        saved += float(sv[i])
+        n_admits = len(admit_rows)
+
+        return StepMetrics(
+            decode_steps=len(step_rows),
+            admits=n_admits,
+            preempts=len(trace.rows_of(EventType.PREEMPT)),
+            rejects=len(reject_rows),
+            finishes=n_finishes_all,
+            prefill_chunks=len(trace.rows_of(EventType.PREFILL_CHUNK)),
+            partial_requests=partial,
+            decode_seconds=wall,
+            mean_batch_occupancy=(
+                float((batches * w).sum()) if w is not None else 0.0
+            ),
+            peak_batch_occupancy=int(batches.max()) if len(step_rows) else 0,
+            mean_budget_utilization=(
+                float((utils * w).sum()) if w is not None else 0.0
+            ),
+            peak_budget_utilization=(
+                float(utils.max()) if len(step_rows) else 0.0
+            ),
+            mean_queue_delay=float(np.mean(delays)) if delays else 0.0,
+            mean_tbot=float(np.mean(tbots)) if tbots.size else 0.0,
+            p99_tbot=float(np.percentile(tbots, 99)) if tbots.size else 0.0,
+            max_decode_gap=gap,
+            ttft_attainment=(
+                1.0 - n_ttft_miss / n_ttft if n_ttft else 1.0
+            ),
+            tbot_attainment=(
+                1.0 - n_tbot_miss / n_tbot if n_tbot else 1.0
+            ),
+            goodput=attained / span if span > 0 else 0.0,
+            prefix_hits=len(hit_rows),
+            prefix_cached_tokens=cached_total,
+            prefix_saved_seconds=float(saved),
+            prefix_hit_rate=len(hit_rows) / n_admits if n_admits else 0.0,
+        )
+
+    @staticmethod
+    def _from_events(trace) -> "StepMetrics":
+        """Per-event reference fold (ObjectTrace / duck-typed traces)."""
         steps = [
             e
             for e in trace.of_kind(EventType.DECODE_STEP)

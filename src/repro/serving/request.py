@@ -62,6 +62,12 @@ class ServingRequest:
     preemptions: int = 0
     rejected: bool = False
     queued_at: Optional[float] = None  # last time the request was (re)queued
+    # (sparse_budget, peak KV tokens) memoized by the simulator — the
+    # peak footprint is static per compression config but probed on
+    # every admission/rejection/overflow check
+    peak_cache: Optional[Tuple[Optional[int], int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def ttft(self) -> float:

@@ -230,10 +230,20 @@ class ServerInstance:
                 self._telemetry.sample_prefix(self.prefix_cache)
 
     def _request_tokens(self, req: ServingRequest) -> int:
-        """KV tokens a request will occupy at its peak."""
+        """KV tokens a request will occupy at its peak.
+
+        The peak is static per (request, compression config), so it is
+        memoized on the request — admission feasibility, overflow checks
+        and ``waiting_tokens`` probe it constantly.
+        """
+        key = self.comp.sparse_budget
+        cache = req.peak_cache
+        if cache is not None and cache[0] == key:
+            return cache[1]
         total = req.total_tokens
-        if self.comp.sparse_budget is not None:
-            total = min(total, self.comp.sparse_budget + req.response_len)
+        if key is not None:
+            total = min(total, key + req.response_len)
+        req.peak_cache = (key, total)
         return total
 
     def _live_tokens(self, req: ServingRequest) -> int:
@@ -245,6 +255,15 @@ class ServerInstance:
     # ------------------------------------------------------------------
     def _init_state(self) -> None:
         self._waiting: List[ServingRequest] = []
+        # arrived requests whose peak footprint exceeds the budget:
+        # flagged once at enqueue (the peak is static), so the per-wake
+        # rejection pass is O(1) when nothing is doomed instead of a
+        # full queue scan
+        self._doomed: List[ServingRequest] = []
+        # whether the waiting queue is arrival-sorted (loop events fire
+        # in time order, so only an out-of-order requeue breaks it) —
+        # lets FCFS-like policies take the head without a scan
+        self._waiting_sorted = True
         self._running: List[ServingRequest] = []
         self._future: List[float] = []  # arrival times not yet reached
         self._used = 0
@@ -311,7 +330,7 @@ class ServerInstance:
         self._submitted.append(req)
         if self._future and self._future[0] <= req.arrival:
             heapq.heappop(self._future)
-        self._waiting.append(req)
+        self._enqueue(req)
         self._ensure_wake()
 
     def result(self) -> SimulationResult:
@@ -372,8 +391,21 @@ class ServerInstance:
     def _on_arrival(self, req: ServingRequest) -> None:
         if self._future and self._future[0] <= req.arrival:
             heapq.heappop(self._future)
-        self._waiting.append(req)
+        self._enqueue(req)
         self._ensure_wake()
+
+    def _enqueue(self, req: ServingRequest) -> None:
+        """Append to the waiting queue, flagging can-never-fit requests
+        for the next wake-up's rejection pass."""
+        waiting = self._waiting
+        if waiting:
+            if req.arrival < waiting[-1].arrival:
+                self._waiting_sorted = False
+        else:
+            self._waiting_sorted = True  # removals preserve order
+        waiting.append(req)
+        if self._request_tokens(req) > self.token_budget:
+            self._doomed.append(req)
 
     def _ensure_wake(self) -> None:
         if self._wake_at is None:
@@ -384,13 +416,17 @@ class ServerInstance:
         self._loop.schedule(at, self._wake)
 
     def _record(self, time: float, kind: EventType, rid: str = "", **data) -> None:
-        if self._trace is None and self._telemetry is None:
+        trace, tel = self._trace, self._telemetry
+        if tel is None:
+            if trace is not None:
+                # columnar traces decompose the payload straight into
+                # the columns; no TraceEvent object is built at all
+                trace.record_fields(time, kind, rid, self.name, data)
             return
         event = TraceEvent(time, kind, rid, self.name, data)
-        if self._trace is not None:
-            self._trace.append(event)
-        if self._telemetry is not None:
-            self._telemetry.on_event(event)
+        if trace is not None:
+            trace.append(event)
+        tel.on_event(event)
 
     def _record_admit(self, now: float, req: ServingRequest) -> None:
         """ADMIT event carrying the (re)queue epoch and SLO targets."""
@@ -422,16 +458,23 @@ class ServerInstance:
             self._wake_static(now)
 
     def _reject_impossible(self, now: float) -> None:
-        """Drop arrived requests whose peak footprint can never fit."""
-        for req in [r for r in self._waiting if r.arrival <= now]:
-            need = self._request_tokens(req)
-            if need > self.token_budget:
-                self._waiting.remove(req)
-                req.rejected = True
-                self._record(
-                    now, EventType.REJECT, req.request_id,
-                    need=need, token_budget=self.token_budget,
-                )
+        """Drop arrived requests whose peak footprint can never fit.
+
+        Only the requests flagged at enqueue are visited (the waiting
+        queue holds arrived requests only — arrivals are loop events —
+        and the budget and each peak are static), in queue order.
+        """
+        if not self._doomed:
+            return
+        for req in self._doomed:
+            self._waiting.remove(req)
+            req.rejected = True
+            self._record(
+                now, EventType.REJECT, req.request_id,
+                need=self._request_tokens(req),
+                token_budget=self.token_budget,
+            )
+        self._doomed.clear()
 
     def _reject(self, now: float, req: ServingRequest, need: int) -> None:
         self._waiting.remove(req)
@@ -467,10 +510,15 @@ class ServerInstance:
 
     def _try_admit(self, now: float) -> bool:
         """Admit (and prefill) one request if the policy's pick fits."""
-        arrived = [r for r in self._waiting if r.arrival <= now]
+        # the waiting queue holds arrived requests only (arrivals are
+        # loop events fired at their arrival time), so no re-filter
+        arrived = self._waiting
         if not arrived or len(self._running) >= self.max_batch:
             return False
-        req = arrived[self.scheduler.select(arrived, now)]
+        if self.scheduler.head_of_sorted and self._waiting_sorted:
+            req = arrived[0]  # FCFS on a sorted queue: head-of-line
+        else:
+            req = arrived[self.scheduler.select(arrived, now)]
         need = self._admit_need(req)
         if self.used_tokens + need > self.token_budget:
             return False  # head-of-line stall until a finish frees budget
@@ -616,66 +664,213 @@ class ServerInstance:
         budget check uses the footprint the step is about to write, so
         the executing step always fits.  The pre-fix simulator preempted
         after the step, letting the overflowing step itself be priced
-        against a state the memory model rejects — ``seconds=inf`` — and
-        silently running the clock to infinity.
+        against a state the memory model rejects — ``seconds=inf`` —
+        and silently running the clock to infinity.
+
+        Within one burst the batch membership is constant, so the
+        per-step accounting is precomputed on arrays for the whole
+        block (:meth:`_decode_burst`): the first-finisher step from the
+        minimum remaining response, the budget-overflow horizon from
+        the batch's cumulative KV growth, and the trace writes as one
+        columnar append.  Steps that hit a boundary the burst cannot
+        model — budget overflow forcing a preemption, or a cost-model
+        OOM (``seconds=inf``) — fall back to :meth:`_decode_step_slow`,
+        the original single-step logic.  Both paths make identical
+        decisions at identical clocks.
         """
         clock = now
         self._decode_turn = False
-        for _ in range(self.decode_block if limit is None else limit):
-            preempted = False
-            if self.admission == "dynamic":
-                preempted = self._preempt_if_needed(clock, pre_step=True)
-            if not self._running:
+        remaining = self.decode_block if limit is None else limit
+        while remaining > 0 and self._running:
+            ran, clock, stop = self._decode_burst(clock, remaining)
+            remaining -= ran
+            if stop or remaining <= 0:
                 break
-            batch = len(self._running)
-            kv = self._decode_kv_len(self._running)
-            dt = self._step_seconds(batch, kv)
-            while dt == float("inf") and self._evict_victim(clock):
-                # memory-model OOM the token budget missed (per-batch
-                # workspace overhead): evict one victim and re-price
-                preempted = True
-                batch = len(self._running)
-                kv = self._decode_kv_len(self._running)
-                dt = self._step_seconds(batch, kv)
-            if dt == float("inf"):
-                # a request whose decode can never fit: drop the
-                # scheduler's victim (the request whose footprint caused
-                # the OOM, per policy) rather than spinning the clock to
-                # infinity
-                victim = self._running.pop(
-                    self.scheduler.victim(self._running, clock)
-                )
-                if self.admission == "reserve":
-                    self._used -= self._request_tokens(victim)
-                victim.rejected = True
-                self._record(
-                    clock, EventType.REJECT, victim.request_id,
-                    need=self._request_tokens(victim),
-                    token_budget=self.token_budget,
-                    generated=victim.generated,
-                )
+            clock, stop = self._decode_step_slow(clock)
+            remaining -= 1
+            if stop:
                 break
-            clock += dt
-            for r in self._running:
-                r.generated += 1
-            self._record(
-                clock, EventType.DECODE_STEP,
-                batch=batch, kv=kv, seconds=dt,
-                used_tokens=self.used_tokens, token_budget=self.token_budget,
-                live=len(self._running),
+        self._schedule_wake(clock)
+
+    def _decode_burst(
+        self, clock: float, max_steps: int
+    ) -> Tuple[int, float, bool]:
+        """Run consecutive fixed-membership decode steps in bulk.
+
+        Returns ``(steps_ran, clock, stop)``; ``stop`` means the block
+        is over (a finish or a mid-block arrival — the same break
+        points as the per-step loop).  ``steps_ran == 0`` with
+        ``stop=False`` means the very next step needs the slow path
+        (preemption pressure or an OOM-priced step).
+        """
+        running = self._running
+        batch = len(running)
+        # steps until the earliest finisher leaves the batch (>= 1:
+        # running requests are never done)
+        fin = min(r.response_len - r.generated for r in running)
+        k = fin if fin < max_steps else max_steps
+        extra = (
+            self._prefilling.prefilled if self._prefilling is not None else 0
+        )
+        if self.admission == "dynamic":
+            # pre-step budget check for step j: every member grows one
+            # KV token per step, capped at its peak — find the horizon
+            # where the batched footprint first overflows
+            base = np.fromiter(
+                (r.prompt_len + r.generated for r in running),
+                np.int64, count=batch,
             )
-            changed = preempted
-            for r in [r for r in self._running if r.done]:
-                self._running.remove(r)
+            peak = np.fromiter(
+                (self._request_tokens(r) for r in running),
+                np.int64, count=batch,
+            )
+            budget = self.token_budget - extra
+            if int(peak.sum()) > budget:
+                for j in range(k):
+                    if int(np.minimum(base + (j + 1), peak).sum()) > budget:
+                        k = j
+                        break
+            if k <= 0:
+                return 0, clock, False  # slow path preempts first
+        kv_sum = sum(r.prompt_len + r.generated for r in running)
+        next_arr = self._future[0] if self._future else None
+        inf = float("inf")
+        times: List[float] = []
+        kvs: List[int] = []
+        dts: List[float] = []
+        executed = 0
+        stop = False
+        for _ in range(k):
+            # int(sum / batch) is exactly int(np.mean(lengths)) for
+            # lengths whose sum stays exact in float64
+            kv = int(kv_sum / batch)
+            dt = self._step_seconds(batch, kv)
+            if dt == inf:
+                break  # slow path evicts or drops
+            clock += dt
+            kv_sum += batch
+            times.append(clock)
+            kvs.append(kv)
+            dts.append(dt)
+            executed += 1
+            if executed == fin:
+                stop = True  # this step finished someone
+                break
+            if next_arr is not None and next_arr <= clock:
+                stop = True  # a new arrival landed mid-block
+                break
+        if executed == 0:
+            return 0, clock, stop
+        for r in running:
+            r.generated += executed
+        trace, tel = self._trace, self._telemetry
+        if trace is not None or tel is not None:
+            if self.admission == "dynamic":
+                steps = np.arange(1, executed + 1)
+                used = [
+                    int(u) + extra
+                    for u in np.minimum(
+                        base[None, :] + steps[:, None], peak
+                    ).sum(axis=1)
+                ]
+            else:
+                used = self._used + self._static_used()
+            fast = (
+                getattr(trace, "record_decode_steps", None)
+                if trace is not None else None
+            )
+            if fast is not None or trace is None:
+                # columnar trace (or no trace at all): the whole burst
+                # lands in one batched call per sink
+                if fast is not None:
+                    fast(
+                        self.name, times, batch, kvs, dts, used,
+                        self.token_budget,
+                    )
+                if tel is not None:
+                    tel.on_decode_steps(
+                        self.name, times, batch, kvs, dts, used,
+                        self.token_budget,
+                    )
+            else:
+                for i in range(executed):
+                    self._record(
+                        times[i], EventType.DECODE_STEP,
+                        batch=batch, kv=kvs[i], seconds=dts[i],
+                        used_tokens=(
+                            used[i] if isinstance(used, list) else used
+                        ),
+                        token_budget=self.token_budget,
+                        live=batch,
+                    )
+        if executed == fin:
+            for r in [r for r in running if r.done]:
+                running.remove(r)
                 if self.admission == "reserve":
                     self._used -= self._request_tokens(r)
                 self._finish(r, clock)
-                changed = True
-            if changed:
-                break  # membership changed: re-price from the next wake
-            if self._future and self._future[0] <= clock:
-                break  # a new arrival landed mid-block
-        self._schedule_wake(clock)
+        return executed, clock, stop
+
+    def _decode_step_slow(self, clock: float) -> Tuple[float, bool]:
+        """One decode step with the original per-step logic — handles
+        the boundaries the burst cannot: pre-step preemption pressure
+        and OOM-priced (``seconds=inf``) steps.  Returns ``(clock,
+        stop)`` with ``stop=True`` when the block must end (membership
+        changed, a drop, or a mid-block arrival)."""
+        preempted = False
+        if self.admission == "dynamic":
+            preempted = self._preempt_if_needed(clock, pre_step=True)
+        if not self._running:
+            return clock, True
+        batch = len(self._running)
+        kv = self._decode_kv_len(self._running)
+        dt = self._step_seconds(batch, kv)
+        while dt == float("inf") and self._evict_victim(clock):
+            # memory-model OOM the token budget missed (per-batch
+            # workspace overhead): evict one victim and re-price
+            preempted = True
+            batch = len(self._running)
+            kv = self._decode_kv_len(self._running)
+            dt = self._step_seconds(batch, kv)
+        if dt == float("inf"):
+            # a request whose decode can never fit: drop the
+            # scheduler's victim (the request whose footprint caused
+            # the OOM, per policy) rather than spinning the clock to
+            # infinity
+            victim = self._running.pop(
+                self.scheduler.victim(self._running, clock)
+            )
+            if self.admission == "reserve":
+                self._used -= self._request_tokens(victim)
+            victim.rejected = True
+            self._record(
+                clock, EventType.REJECT, victim.request_id,
+                need=self._request_tokens(victim),
+                token_budget=self.token_budget,
+                generated=victim.generated,
+            )
+            return clock, True
+        clock += dt
+        for r in self._running:
+            r.generated += 1
+        self._record(
+            clock, EventType.DECODE_STEP,
+            batch=batch, kv=kv, seconds=dt,
+            used_tokens=self.used_tokens, token_budget=self.token_budget,
+            live=len(self._running),
+        )
+        changed = preempted
+        for r in [r for r in self._running if r.done]:
+            self._running.remove(r)
+            if self.admission == "reserve":
+                self._used -= self._request_tokens(r)
+            self._finish(r, clock)
+            changed = True
+        if changed:
+            return clock, True  # membership changed: re-price next wake
+        if self._future and self._future[0] <= clock:
+            return clock, True  # a new arrival landed mid-block
+        return clock, False
 
     def _overflow(self, pre_step: bool = False) -> bool:
         """Live footprint (decoding + partially-prefilled) over budget?
@@ -726,7 +921,7 @@ class ServerInstance:
         victim.cached_prefix = 0  # re-admission consults the index afresh
         victim.preemptions += 1
         victim.queued_at = clock  # queue delay restarts at the requeue
-        self._waiting.append(victim)
+        self._enqueue(victim)
         return True
 
     def _preempt_if_needed(self, clock: float, pre_step: bool = False) -> bool:
@@ -746,14 +941,14 @@ class ServerInstance:
         self._form_static_batch(now)
 
     def _form_static_batch(self, now: float) -> None:
-        arrived = [r for r in self._waiting if r.arrival <= now]
-        if not arrived:
+        if not self._waiting:
             return  # idle until the next arrival
         batch: List[ServingRequest] = []
         used = 0
-        pool = list(arrived)
+        pool = list(self._waiting)
+        take_head = self.scheduler.head_of_sorted and self._waiting_sorted
         while pool and len(batch) < self.max_batch:
-            req = pool[self.scheduler.select(pool, now)]
+            req = pool[0] if take_head else pool[self.scheduler.select(pool, now)]
             need = self._request_tokens(req)
             if used + need > self.token_budget:
                 break  # head-of-line: keep the policy's ordering

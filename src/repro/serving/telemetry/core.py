@@ -166,6 +166,25 @@ class Telemetry:
             "router_routed_total", "requests dispatched per instance",
             ("instance",),
         )
+        self.trace_events = r.gauge(
+            "serving_trace_events", "events held in the trace ring buffer",
+            ("instance",),
+        )
+        self.trace_capacity = r.gauge(
+            "serving_trace_capacity",
+            "allocated event slots in the trace ring buffer",
+            ("instance",),
+        )
+        self.trace_buffer_bytes = r.gauge(
+            "serving_trace_buffer_bytes",
+            "bytes held by the columnar trace buffers",
+            ("instance",),
+        )
+        self.trace_dropped = r.gauge(
+            "serving_trace_dropped_events_total",
+            "oldest events dropped by a bounded trace",
+            ("instance",),
+        )
         self.loop_pending = r.gauge(
             "eventloop_pending_events", "events queued on the shared clock",
         )
@@ -287,6 +306,62 @@ class Telemetry:
             if saved is not None:
                 self.prefix_saved_seconds.inc_key(ik, saved)
 
+    def on_decode_steps(
+        self,
+        instance: str,
+        times,
+        batch: int,
+        kvs,
+        seconds,
+        used_tokens,
+        token_budget: int,
+    ) -> None:
+        """Fold a burst of ``DECODE_STEP`` events in one call.
+
+        The batched mirror of the per-event ``DECODE_STEP`` branch in
+        :meth:`on_event`, fed by the simulator's burst decode path
+        alongside ``Trace.record_decode_steps`` — the shared counters
+        and histogram land in one update per burst instead of one per
+        step.  ``used_tokens`` is a scalar or a per-step sequence, as
+        in the trace call.
+        """
+        k = len(times)
+        if k == 0:
+            return
+        hot = self._hot.get(instance)
+        if hot is None:
+            hot = self._hot[instance] = _InstHot(self, instance)
+        ev = self._ev_values
+        kk = hot.ev_decode
+        ev[kk] = ev.get(kk, 0.0) + float(k)
+        s = hot.step
+        counts = s.counts
+        buckets = hot.buckets
+        for sec in seconds:
+            counts[bisect_left(buckets, sec)] += 1
+            s.sum += sec
+        s.count += k
+        ik = hot.ik
+        hot.batch_values[ik] = float(batch)
+        hot.gen_values[ik] = hot.gen_values.get(ik, 0.0) + float(batch) * k
+        mb = max(1, token_budget)
+        pts = hot.kv_pts
+        lim = 2 * self.series_limit
+        if isinstance(used_tokens, (list, tuple)):
+            occ = 0.0
+            for t, u in zip(times, used_tokens):
+                occ = u / mb
+                pts.append((t, occ))
+                if len(pts) > lim:
+                    pts[:] = pts[::2]
+        else:
+            occ = used_tokens / mb
+            for t in times:
+                pts.append((t, occ))
+                if len(pts) > lim:
+                    pts[:] = pts[::2]
+        hot.kv_values[ik] = occ
+
     def sample_instance(self, now: float, inst) -> None:
         """Per-wake-up gauges from live ``ServerInstance`` state."""
         name = inst.name
@@ -307,6 +382,14 @@ class Telemetry:
         pts.append((now, running))
         if len(pts) > lim:
             pts[:] = pts[::2]
+        trace = getattr(inst, "_trace", None)
+        stats = getattr(trace, "memory_stats", None)
+        if stats is not None:
+            s = stats()
+            self.trace_events._values[ik] = float(s["events"])
+            self.trace_capacity._values[ik] = float(s["capacity"])
+            self.trace_buffer_bytes._values[ik] = float(s["buffer_bytes"])
+            self.trace_dropped._values[ik] = float(s["dropped_events"])
 
     def on_loop(self, now: float, pending: int, fired: int) -> None:
         """Event-loop health; series sampled every 16th event."""
@@ -363,6 +446,12 @@ class NullTelemetry(Telemetry):
         super().__init__()
 
     def on_event(self, e: TraceEvent) -> None:  # pragma: no cover - no-op
+        pass
+
+    def on_decode_steps(
+        self, instance, times, batch, kvs, seconds, used_tokens,
+        token_budget,
+    ) -> None:
         pass
 
     def sample_instance(self, now, inst) -> None:

@@ -238,9 +238,15 @@ class TestTraceIndexProperty:
             scan = [e for e in trace.events if e.request_id == rid]
             assert trace.for_request(rid) == scan
         assert trace.for_request("nope") == []
-        assert trace.of_kind(EventType.FINISH) is not trace._by_kind.get(
+        # no-copy pin: repeat calls return the same cached view object
+        # (folds call these many times), invalidated only by new events
+        assert trace.of_kind(EventType.FINISH) is trace.of_kind(
             EventType.FINISH
-        )  # defensive copy
+        )
+        assert trace.for_request("r3") is trace.for_request("r3")
+        trace.record(9.99, EventType.FINISH, "r3")
+        assert trace.of_kind(EventType.FINISH)[-1].time == 9.99
+        assert trace.for_request("r3")[-1].kind is EventType.FINISH
         # request_ids: distinct, non-empty, first-appearance order
         seen = []
         for e in trace.events:

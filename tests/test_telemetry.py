@@ -16,6 +16,7 @@ from repro.serving import (
     EventLoop,
     EventType,
     NullTelemetry,
+    ObjectTrace,
     PrefixIndex,
     ServerInstance,
     ServingRequest,
@@ -249,6 +250,54 @@ class TestTelemetrySink:
         assert active(None) is None
         assert active(NullTelemetry()) is None
         assert active(tel) is tel
+
+    def test_batched_decode_fold_matches_per_event(self):
+        from repro.serving import TraceEvent
+
+        times = [0.1, 0.2, 0.3]
+        kvs = [100, 104, 108]
+        secs = [0.01, 0.5, 0.012]  # middle one lands in a later bucket
+        used = [500, 516, 532]
+        per_event, batched = Telemetry(), Telemetry()
+        for j in range(3):
+            per_event.on_event(
+                TraceEvent(
+                    times[j], EventType.DECODE_STEP, "", "i0",
+                    {
+                        "batch": 4, "kv": kvs[j], "seconds": secs[j],
+                        "used_tokens": used[j], "token_budget": 4096,
+                        "live": 4,
+                    },
+                )
+            )
+        batched.on_decode_steps("i0", times, 4, kvs, secs, used, 4096)
+        assert per_event.snapshot() == batched.snapshot()
+        assert (
+            per_event.series[("i0", "kv_occupancy")]
+            == batched.series[("i0", "kv_occupancy")]
+        )
+
+    def test_trace_buffer_gauges(self):
+        inst = instance(max_batch=4)
+        trace = Trace()
+        tel = Telemetry()
+        inst.run(requests(6), trace=trace, telemetry=tel)
+        stats = trace.memory_stats()
+        assert tel.trace_events.value(instance="") == stats["events"]
+        assert tel.trace_capacity.value(instance="") == stats["capacity"]
+        assert (
+            tel.trace_buffer_bytes.value(instance="")
+            == stats["buffer_bytes"]
+        )
+        assert tel.trace_dropped.value(instance="") == 0
+        snap = tel.snapshot()
+        assert "serving_trace_buffer_bytes" in snap
+        # ObjectTrace has no memory_stats: gauges simply stay unset
+        tel2 = Telemetry()
+        instance(max_batch=4).run(
+            requests(4), trace=ObjectTrace(), telemetry=tel2
+        )
+        assert tel2.trace_events._values == {}
 
 
 # ----------------------------------------------------------------------
