@@ -1,0 +1,54 @@
+"""Compression-aware routing benchmark: risk-threshold sweep against
+static-FP16 and static-compressed fleets.  Writes
+``results/serving_router.txt`` and its section of
+``results/BENCH_serving.json``."""
+
+
+def test_compression_routing(benchmark, record_result, record_bench_json):
+    from repro.experiments import serving_router
+
+    res = benchmark.pedantic(serving_router.run, rounds=1, iterations=1)
+    record_result(res, "serving_router")
+    record_bench_json("serving_router", res.data["raw"])
+
+    raw = res.data["raw"]
+    by_fleet = {r["fleet"]: r for r in raw["baselines"]}
+    fp16 = by_fleet["fp16-static"]
+    comp = by_fleet["compressed-static"]
+    frontier = raw["frontier"]
+
+    # the static baselines bracket the quality axis as the paper
+    # predicts: lossless fleet at quality 1, compressed fleet below
+    assert fp16["quality"] == 1.0
+    assert comp["quality"] < fp16["quality"]
+
+    # acceptance criterion: the online compression policy beats BOTH
+    # static fleets on the goodput-at-matched-quality frontier —
+    # some swept point matches FP16 quality at higher goodput, and
+    # some point matches (or exceeds) the compressed fleet's quality
+    # at higher goodput.
+    beats_fp16 = [
+        p for p in frontier
+        if p["quality"] >= fp16["quality"] and p["goodput"] > fp16["goodput"]
+    ]
+    beats_comp = [
+        p for p in frontier
+        if p["quality"] >= comp["quality"] and p["goodput"] > comp["goodput"]
+    ]
+    assert beats_fp16, "no frontier point dominates the FP16 fleet"
+    assert beats_comp, "no frontier point dominates the compressed fleet"
+
+    # the risk gate is live: tight thresholds reroute risky decodes,
+    # and quality degrades monotonically as the gate loosens
+    gated = [p for p in frontier if not p["fallback"]]
+    gated.sort(key=lambda p: p["threshold"])
+    assert gated[0]["reroutes"] > gated[-1]["reroutes"]
+    qualities = [p["quality"] for p in gated]
+    assert qualities == sorted(qualities, reverse=True)
+
+    # verify-and-fallback: failed verifications re-decode on FP16 and
+    # buy back quality relative to the ungated fleet
+    fb = [p for p in frontier if p["fallback"] and p["fallbacks"] > 0]
+    assert fb, "no fallback point recorded any re-decodes"
+    loosest_gated = gated[-1]
+    assert max(p["quality"] for p in fb) > loosest_gated["quality"]

@@ -34,6 +34,7 @@ from repro.core.config import current_scale
 from repro.experiments import (
     chunked_prefill,
     prefix_caching,
+    serving_router,
     slo_admission,
     fig1_throughput,
     fig2_h800,
@@ -58,6 +59,7 @@ _ANALYTIC = {
     "chunked": lambda scale: chunked_prefill.run(),
     "slo": lambda scale: slo_admission.run(),
     "prefix": lambda scale: prefix_caching.run(),
+    "router": lambda scale: serving_router.run(),
 }
 
 _GENERATION = {
@@ -242,6 +244,48 @@ def run_dashboard(args) -> int:
     return 0
 
 
+def run_route(args) -> int:
+    """One compression-aware routing run at a chosen risk threshold."""
+    from repro.serving import RoutingPolicy
+
+    requests, ratios = serving_router.build_workload(
+        n=args.n, seed=args.seed
+    )
+    rows = []
+    if args.baselines:
+        for fleet, algo in (
+            ("fp16-static", "fp16"),
+            ("compressed-static", "kivi-4"),
+        ):
+            row = serving_router.run_fleet(
+                (algo,) * len(serving_router.MIXED_ALGOS),
+                requests, ratios, policy=RoutingPolicy.LOAD_BALANCE,
+            )
+            rows.append(dict(row, fleet=fleet))
+    row = serving_router.run_fleet(
+        serving_router.MIXED_ALGOS, requests, ratios,
+        risk_threshold=args.risk_threshold, fallback=args.fallback,
+    )
+    rows.append(dict(row, fleet="mixed"))
+    print(
+        f"compression routing: {args.n} requests, "
+        f"risk threshold {args.risk_threshold:g}, "
+        f"fallback {'on' if args.fallback else 'off'}"
+    )
+    cols = ("fleet", "policy", "quality", "goodput", "ttft_attainment",
+            "mean_e2e", "reroutes", "fallbacks")
+    print("  ".join(f"{c:>15s}" for c in cols))
+    for r in rows:
+        cells = []
+        for c in cols:
+            v = r[c]
+            cells.append(
+                f"{v:>15.3f}" if isinstance(v, float) else f"{v!s:>15s}"
+            )
+        print("  ".join(cells))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description=__doc__,
@@ -307,12 +351,32 @@ def main(argv=None) -> int:
     dashp.add_argument("--prom-out", type=pathlib.Path, default=None,
                        help="write the Prometheus text exposition of the "
                             "final registry to this file")
+    routep = sub.add_parser(
+        "route",
+        help="serve the mixed-compression fleet through the "
+             "compression-aware router at one risk threshold",
+    )
+    routep.add_argument("--n", type=int, default=96, help="request count")
+    routep.add_argument("--seed", type=int, default=11)
+    routep.add_argument("--risk-threshold", type=float, default=0.5,
+                        help="per-instance risk at or above this gates "
+                             "(fallback off) or fails verification "
+                             "(fallback on)")
+    routep.add_argument("--fallback", action="store_true",
+                        help="VeriCache-style optimistic mode: route "
+                             "compressed, re-decode failed "
+                             "verifications on FP16")
+    routep.add_argument("--baselines", action="store_true",
+                        help="also serve the static FP16 and static "
+                             "compressed fleets for comparison")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
         return run_trace(args)
     if args.command == "dashboard":
         return run_dashboard(args)
+    if args.command == "route":
+        return run_route(args)
 
     if args.command == "list":
         scale = current_scale()

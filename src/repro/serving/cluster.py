@@ -67,6 +67,7 @@ class Cluster:
         for inst, name in zip(self.instances, names):
             inst.name = name
         self.names = names
+        self._telemetry = None  # active sink of the run in progress
 
     def _attach_all(
         self, trace: Optional[Trace], telemetry=None
@@ -92,6 +93,20 @@ class Cluster:
     def views(self) -> List[InstanceView]:
         """Live snapshots of every instance."""
         return [self.view(i) for i in range(len(self.instances))]
+
+    def route_to(self, index: int, req: ServingRequest) -> None:
+        """Dispatch ``req`` to instance ``index`` mid-run.
+
+        Used by re-routing paths that originate *inside* the simulation
+        (the router's verify-and-fallback re-decodes): the arrival is
+        registered and consumed in one step, exactly as the normal
+        ``expect``/``receive`` pair does for front-door arrivals.
+        """
+        inst = self.instances[index]
+        inst.expect(req.arrival)
+        if self._telemetry is not None:
+            self._telemetry.on_route(inst.name)
+        inst.receive(req)
 
     # ------------------------------------------------------------------
     def run(
@@ -137,6 +152,7 @@ class Cluster:
         consider admission — exactly as the ``submit()`` path does.
         """
         telemetry = _active_telemetry(telemetry)
+        self._telemetry = telemetry
         loop = self._attach_all(trace, telemetry)
         assignment: Dict[str, int] = {}
 

@@ -192,6 +192,10 @@ class StepMetrics:
     finishes: int
     prefill_chunks: int
     partial_requests: int
+    #: router decisions recorded into the trace by the ``compression``
+    #: policy: risk-gate denials and verify-and-fallback re-enqueues
+    reroutes: int
+    fallbacks: int
     decode_seconds: float
     mean_batch_occupancy: float
     peak_batch_occupancy: int
@@ -393,6 +397,8 @@ class StepMetrics:
             finishes=n_finishes_all,
             prefill_chunks=len(trace.rows_of(EventType.PREFILL_CHUNK)),
             partial_requests=partial,
+            reroutes=len(trace.rows_of(EventType.REROUTE)),
+            fallbacks=len(trace.rows_of(EventType.FALLBACK)),
             decode_seconds=wall,
             mean_batch_occupancy=(
                 float((batches * w).sum()) if w is not None else 0.0
@@ -498,6 +504,8 @@ class StepMetrics:
             finishes=len(all_finishes),
             prefill_chunks=len(trace.of_kind(EventType.PREFILL_CHUNK)),
             partial_requests=len(partial),
+            reroutes=len(trace.of_kind(EventType.REROUTE)),
+            fallbacks=len(trace.of_kind(EventType.FALLBACK)),
             decode_seconds=wall,
             mean_batch_occupancy=float((batches * w).sum()) if w is not None else 0.0,
             peak_batch_occupancy=int(batches.max()) if len(steps) else 0,
@@ -538,6 +546,8 @@ class StepMetrics:
             "finishes": self.finishes,
             "prefill_chunks": self.prefill_chunks,
             "partial_requests": self.partial_requests,
+            "reroutes": self.reroutes,
+            "fallbacks": self.fallbacks,
             "decode_seconds": self.decode_seconds,
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "peak_batch_occupancy": self.peak_batch_occupancy,

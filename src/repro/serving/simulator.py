@@ -63,7 +63,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -157,6 +157,11 @@ class ServerInstance:
         self._loop: Optional[EventLoop] = None
         self._trace: Optional[Trace] = None
         self._telemetry = None
+        # optional (request, finish_time) completion hook — the router's
+        # verify-and-fallback path re-enqueues suspect decodes from here.
+        # Deliberately not reset by attach(): the owner installs it once
+        # per run, before the cluster attaches instances to the loop.
+        self.on_finish: Optional[Callable[[ServingRequest, float], None]] = None
         self._init_state()
 
     def _token_budget(self) -> int:
@@ -415,6 +420,17 @@ class ServerInstance:
         self._wake_at = at
         self._loop.schedule(at, self._wake)
 
+    def record_event(
+        self, time: float, kind: EventType, rid: str = "", **data
+    ) -> None:
+        """Public trace/telemetry append attributed to this instance.
+
+        The router uses this to emit fleet-level decisions (``REROUTE``
+        / ``FALLBACK``) into the same trace stream the instance writes,
+        so folds and spans see one consistent timeline per request.
+        """
+        self._record(time, kind, rid, **data)
+
     def _record(self, time: float, kind: EventType, rid: str = "", **data) -> None:
         trace, tel = self._trace, self._telemetry
         if tel is None:
@@ -641,6 +657,8 @@ class ServerInstance:
             ):
                 data["tbot_miss"] = 1
         self._record(at, EventType.FINISH, req.request_id, **data)
+        if self.on_finish is not None:
+            self.on_finish(req, at)
 
     def _decode_kv_len(self, running: List[ServingRequest]) -> int:
         lens = [r.prompt_len + r.generated for r in running]

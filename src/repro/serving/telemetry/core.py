@@ -166,6 +166,16 @@ class Telemetry:
             "router_routed_total", "requests dispatched per instance",
             ("instance",),
         )
+        self.rerouted = r.counter(
+            "router_reroutes_total",
+            "risk-gated requests redirected to a lossless instance",
+            ("instance",),
+        )
+        self.fallbacks = r.counter(
+            "router_fallbacks_total",
+            "verify-and-fallback re-decodes enqueued on a lossless instance",
+            ("instance",),
+        )
         self.trace_events = r.gauge(
             "serving_trace_events", "events held in the trace ring buffer",
             ("instance",),
@@ -305,6 +315,10 @@ class Telemetry:
             saved = d.get("saved_seconds")
             if saved is not None:
                 self.prefix_saved_seconds.inc_key(ik, saved)
+        elif k is EventType.REROUTE:
+            self.rerouted.inc_key(ik)
+        elif k is EventType.FALLBACK:
+            self.fallbacks.inc_key(ik)
 
     def on_decode_steps(
         self,

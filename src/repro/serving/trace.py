@@ -28,6 +28,18 @@ recorded as a typed :class:`TraceEvent`:
 - ``REJECT``       — a request could never fit and was dropped
   (data: ``need``, ``token_budget``; mid-decode drops also carry
   ``generated``, the tokens emitted before the drop).
+- ``REROUTE``      — the ``compression`` routing policy's risk gate
+  denied a compressed instance the scorer preferred and redirected the
+  request to a lossless one at dispatch time (data: ``risk``,
+  ``threshold``, ``denied`` — the index of the compressed instance the
+  score alone would have picked; recorded on the instance that actually
+  received the request).
+- ``FALLBACK``     — a decode that completed on a compressed instance
+  failed post-hoc verification and was re-enqueued on an FP16 instance
+  (data: ``risk``, ``threshold``, ``generated`` — the compressed tokens
+  being discarded — and ``refill``, the lossless response length of the
+  re-decode; recorded on the fallback target under the *original*
+  request id, at the original's finish time).
 
 Storage is **columnar** (struct-of-arrays): :class:`Trace` keeps NumPy
 ring-buffer columns for ``time`` (float64), ``kind`` (uint8 code),
@@ -96,6 +108,10 @@ class EventType(str, enum.Enum):
     PREEMPT = "PREEMPT"
     FINISH = "FINISH"
     REJECT = "REJECT"
+    # appended after the seed kinds: uint8 codes in KINDS are positional,
+    # so new members must only ever be added at the end
+    REROUTE = "REROUTE"
+    FALLBACK = "FALLBACK"
 
 
 #: fixed kind <-> uint8 code mapping for the kind column

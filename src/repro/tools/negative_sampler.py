@@ -91,6 +91,38 @@ class NegativeSampleAnalysis:
                 out.add(sid)
         return out
 
+    def risk_scores(
+        self, algos: Sequence[str], theta: float
+    ) -> Dict[str, float]:
+        """Graded per-sample compression risk for online routing.
+
+        For each benign sample, the fraction of ``algos`` under which
+        its score drops below ``(1 - theta) x baseline`` — 1.0 means the
+        sample fails under every evaluated algorithm (an Algorithm 1
+        negative), 0.0 that it is safe everywhere.  Non-benign samples
+        score 0.0: the baseline already handles them poorly, so
+        compression has nothing left to lose.  The ``compression``
+        routing policy consumes these as per-request risk scores.
+        """
+        if not 0 <= theta <= 1:
+            raise ValueError("theta must be in [0, 1]")
+        for a in algos:
+            if a not in self.by_algo:
+                raise KeyError(f"unknown algorithm {a!r}")
+        out: Dict[str, float] = {}
+        for sid in self.baseline:
+            if sid not in self._benign or not algos:
+                out[sid] = 0.0
+                continue
+            p_base = self.baseline[sid].score
+            fails = sum(
+                1
+                for a in algos
+                if self.by_algo[a][sid].score < (1.0 - theta) * p_base
+            )
+            out[sid] = fails / len(algos)
+        return out
+
     def counts_by_threshold(
         self, algos_sets: Mapping[str, Sequence[str]], thetas: Sequence[float]
     ) -> Dict[str, List[int]]:
