@@ -34,6 +34,7 @@ from repro.core.config import current_scale
 from repro.experiments import (
     chunked_prefill,
     prefix_caching,
+    serving_disagg,
     serving_router,
     slo_admission,
     fig1_throughput,
@@ -60,6 +61,7 @@ _ANALYTIC = {
     "slo": lambda scale: slo_admission.run(),
     "prefix": lambda scale: prefix_caching.run(),
     "router": lambda scale: serving_router.run(),
+    "disagg": lambda scale: serving_disagg.run(),
 }
 
 _GENERATION = {
@@ -286,6 +288,40 @@ def run_route(args) -> int:
     return 0
 
 
+def run_disagg(args) -> int:
+    """One disaggregated-fleet run, optionally against the static
+    monolithic baselines, at a chosen arrival-rate multiplier."""
+    specs = serving_disagg.build_workload(
+        args.rate_scale, n=args.n, seed=args.seed
+    )
+    kinds = ["disagg"]
+    if args.baselines:
+        kinds = [
+            f"static-{n}" for n in serving_disagg.STATIC_SIZES
+        ] + kinds
+    print(
+        f"disaggregated serving: {args.n} requests at "
+        f"{args.rate_scale:g}x the base rate "
+        f"(diurnal +-{serving_disagg.DIURNAL_AMP:.0%}, "
+        f"{serving_disagg.BURST_MULT:g}x burst storm, "
+        f"{serving_disagg.TTFT_SLO:g}s TTFT SLO)"
+    )
+    cols = ("fleet", "ttft_attainment", "mean_ttft", "p95_e2e",
+            "completed", "kv_transfers", "kv_transfer_mb",
+            "scale_ups", "scale_downs")
+    print("  ".join(f"{c:>15s}" for c in cols))
+    for kind in kinds:
+        r = serving_disagg.run_fleet(kind, args.rate_scale, specs)
+        cells = []
+        for c in cols:
+            v = r[c]
+            cells.append(
+                f"{v:>15.3f}" if isinstance(v, float) else f"{v!s:>15s}"
+            )
+        print("  ".join(cells))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description=__doc__,
@@ -369,6 +405,21 @@ def main(argv=None) -> int:
     routep.add_argument("--baselines", action="store_true",
                         help="also serve the static FP16 and static "
                              "compressed fleets for comparison")
+    disaggp = sub.add_parser(
+        "disagg",
+        help="serve a bursty diurnal workload on the disaggregated "
+             "prefill/decode fleet with telemetry-driven autoscaling",
+    )
+    disaggp.add_argument("--n", type=int,
+                         default=serving_disagg.N_REQUESTS,
+                         help="request count")
+    disaggp.add_argument("--seed", type=int, default=serving_disagg.SEED)
+    disaggp.add_argument("--rate-scale", type=float, default=10.0,
+                         help="arrival-rate multiplier over the base "
+                              "rate (the experiment sweeps 1x-10x)")
+    disaggp.add_argument("--baselines", action="store_true",
+                         help="also serve the static monolithic fleets "
+                              "for comparison")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
@@ -377,6 +428,8 @@ def main(argv=None) -> int:
         return run_dashboard(args)
     if args.command == "route":
         return run_route(args)
+    if args.command == "disagg":
+        return run_disagg(args)
 
     if args.command == "list":
         scale = current_scale()

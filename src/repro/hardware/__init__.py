@@ -30,7 +30,9 @@ from repro.hardware.interconnect import (
     InterconnectSpec,
     NVLINK_A6000,
     NVLINK_H800,
+    PCIE_GEN4,
     allreduce_time,
+    transfer_time,
 )
 
 __all__ = [
@@ -49,5 +51,7 @@ __all__ = [
     "InterconnectSpec",
     "NVLINK_A6000",
     "NVLINK_H800",
+    "PCIE_GEN4",
     "allreduce_time",
+    "transfer_time",
 ]

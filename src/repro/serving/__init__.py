@@ -2,6 +2,7 @@
 
 from repro.serving.cluster import Cluster, InstanceView
 from repro.serving.events import EventLoop
+from repro.serving.fleet import Autoscaler, DisaggFleet, FleetResult, least_loaded
 from repro.serving.metrics import LatencySummary, StepMetrics, cdf, tbot
 from repro.serving.prefix import PrefixIndex
 from repro.serving.request import ServingRequest
@@ -46,6 +47,10 @@ __all__ = [
     "Cluster",
     "InstanceView",
     "EventLoop",
+    "Autoscaler",
+    "DisaggFleet",
+    "FleetResult",
+    "least_loaded",
     "LatencySummary",
     "StepMetrics",
     "cdf",

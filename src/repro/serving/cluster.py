@@ -122,11 +122,19 @@ class Cluster:
         instance."""
         if len(streams) != len(self.instances):
             raise ValueError("one request stream per instance required")
-        loop = self._attach_all(trace, _active_telemetry(telemetry))
+        telemetry = _active_telemetry(telemetry)
+        # this run's sink, whatever the previous run used: a mid-run
+        # route_to() (fallback re-decode) must publish here, not to a
+        # stale sink left over from an earlier run_online()
+        self._telemetry = telemetry
+        loop = self._attach_all(trace, telemetry)
         for inst, stream in zip(self.instances, streams):
             for req in sorted(stream, key=lambda r: r.arrival):
                 inst.submit(req)
-        loop.run()
+        try:
+            loop.run()
+        finally:
+            self._telemetry = None  # the run is over; drop the sink
         return [inst.result() for inst in self.instances]
 
     def run_online(
@@ -167,5 +175,10 @@ class Cluster:
             for inst in self.instances:
                 inst.expect(req.arrival)
             loop.schedule(req.arrival, partial(dispatch, req))
-        loop.run()
+        try:
+            loop.run()
+        finally:
+            # clear once the loop drains: a later run (or a stray
+            # route_to outside any run) must not publish to this sink
+            self._telemetry = None
         return [inst.result() for inst in self.instances], assignment

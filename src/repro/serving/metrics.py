@@ -196,6 +196,13 @@ class StepMetrics:
     #: policy: risk-gate denials and verify-and-fallback re-enqueues
     reroutes: int
     fallbacks: int
+    #: disaggregated-fleet events: prefill->decode KV migrations (count,
+    #: payload bytes, and priced link seconds) and autoscaler actions
+    kv_transfers: int
+    kv_transfer_bytes: int
+    kv_transfer_seconds: float
+    scale_ups: int
+    scale_downs: int
     decode_seconds: float
     mean_batch_occupancy: float
     peak_batch_occupancy: int
@@ -389,6 +396,20 @@ class StepMetrics:
                         saved += float(sv[i])
         n_admits = len(admit_rows)
 
+        xfer_rows = trace.rows_of(EventType.KV_TRANSFER)
+        xfer_bytes = 0
+        xfer_seconds = 0.0
+        if len(xfer_rows):
+            bv, bp = trace.payload("bytes")
+            if bp is not None:
+                xfer_bytes = int(bv[xfer_rows][bp[xfer_rows]].sum())
+            sv, sp = trace.payload("seconds")
+            if sp is not None:
+                # sequential sum, matching the event scan bit-for-bit
+                for i in xfer_rows.tolist():
+                    if sp[i]:
+                        xfer_seconds += float(sv[i])
+
         return StepMetrics(
             decode_steps=len(step_rows),
             admits=n_admits,
@@ -399,6 +420,11 @@ class StepMetrics:
             partial_requests=partial,
             reroutes=len(trace.rows_of(EventType.REROUTE)),
             fallbacks=len(trace.rows_of(EventType.FALLBACK)),
+            kv_transfers=len(xfer_rows),
+            kv_transfer_bytes=xfer_bytes,
+            kv_transfer_seconds=xfer_seconds,
+            scale_ups=len(trace.rows_of(EventType.SCALE_UP)),
+            scale_downs=len(trace.rows_of(EventType.SCALE_DOWN)),
             decode_seconds=wall,
             mean_batch_occupancy=(
                 float((batches * w).sum()) if w is not None else 0.0
@@ -496,6 +522,7 @@ class StepMetrics:
             if rid not in complete and rid not in dropped
         ]
         hits = trace.of_kind(EventType.PREFIX_HIT)
+        xfers = trace.of_kind(EventType.KV_TRANSFER)
         return StepMetrics(
             decode_steps=len(steps),
             admits=len(admits),
@@ -506,6 +533,15 @@ class StepMetrics:
             partial_requests=len(partial),
             reroutes=len(trace.of_kind(EventType.REROUTE)),
             fallbacks=len(trace.of_kind(EventType.FALLBACK)),
+            kv_transfers=len(xfers),
+            kv_transfer_bytes=int(
+                sum(e.data.get("bytes", 0) for e in xfers)
+            ),
+            kv_transfer_seconds=float(
+                sum(e.data.get("seconds", 0.0) for e in xfers)
+            ),
+            scale_ups=len(trace.of_kind(EventType.SCALE_UP)),
+            scale_downs=len(trace.of_kind(EventType.SCALE_DOWN)),
             decode_seconds=wall,
             mean_batch_occupancy=float((batches * w).sum()) if w is not None else 0.0,
             peak_batch_occupancy=int(batches.max()) if len(steps) else 0,
@@ -548,6 +584,11 @@ class StepMetrics:
             "partial_requests": self.partial_requests,
             "reroutes": self.reroutes,
             "fallbacks": self.fallbacks,
+            "kv_transfers": self.kv_transfers,
+            "kv_transfer_bytes": self.kv_transfer_bytes,
+            "kv_transfer_seconds": self.kv_transfer_seconds,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
             "decode_seconds": self.decode_seconds,
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "peak_batch_occupancy": self.peak_batch_occupancy,

@@ -34,6 +34,14 @@ class ServingRequest:
     a requeued one — so ``queue_delay`` measures the *last* wait, not
     time since the original arrival.
 
+    ``kv_ready`` marks a request whose prompt KV already exists on the
+    instance when it arrives — the decode-stage half of a disaggregated
+    prefill/decode handoff, delivered together with the migrated KV.
+    Admission ingests it at zero prefill cost (the prefill was priced on
+    the prefill pool and the move by the interconnect model); a
+    recompute preemption clears the flag, since the migrated KV is
+    dropped with everyone else's.
+
     ``token_ids`` optionally carries the prompt's token ids (length
     ``prompt_len``): prefix caching is content-addressed, so an
     instance with a :class:`~repro.serving.prefix.PrefixIndex` can only
@@ -51,6 +59,7 @@ class ServingRequest:
     ttft_deadline: Optional[float] = None
     tbot_target: Optional[float] = None
     token_ids: Optional[Tuple[int, ...]] = None
+    kv_ready: bool = False  # prompt KV migrated in (disaggregated decode)
 
     # filled in by the simulator
     prefill_start: Optional[float] = None

@@ -368,8 +368,19 @@ class ServerInstance:
 
     @property
     def waiting_tokens(self) -> int:
-        """Peak KV tokens of everything still queued."""
-        return sum(self._request_tokens(r) for r in self._waiting)
+        """Peak KV tokens of everything still queued.
+
+        Requests flagged doomed at enqueue are excluded: they sit in
+        the waiting queue only until the next wake-up's rejection pass,
+        and their (over-budget, often huge) peaks would show phantom
+        load to an online router probing ``InstanceView.occupancy`` in
+        that window — misrouting real arrivals toward other instances
+        while this one is actually about to free up.
+        """
+        total = sum(self._request_tokens(r) for r in self._waiting)
+        if self._doomed:
+            total -= sum(self._request_tokens(r) for r in self._doomed)
+        return total
 
     def _static_used(self) -> int:
         return sum(self._request_tokens(r) for r in self._sbatch)
@@ -538,6 +549,30 @@ class ServerInstance:
         need = self._admit_need(req)
         if self.used_tokens + need > self.token_budget:
             return False  # head-of-line stall until a finish frees budget
+        if req.kv_ready:
+            # disaggregated decode-stage ingest: the prompt KV arrived
+            # with the request (the prefill was priced on the prefill
+            # pool and the move by the interconnect model), so admission
+            # costs nothing here — the request goes straight to the
+            # running batch with its prompt KV counted against the
+            # budget.  The prefix index is not consulted or updated:
+            # migrated blocks were never hashed on this instance.
+            self._waiting.remove(req)
+            req.prefill_start = now
+            self._record_admit(now, req)
+            if req.first_token is None:
+                req.first_token = now
+            req.prefilled = req.prompt_len
+            if req.generated == 0:
+                req.generated = 1 if req.response_len > 0 else 0
+            if req.done:
+                self._finish(req, now)
+            else:
+                self._running.append(req)
+                if self.admission == "reserve":
+                    self._used += need
+            self._schedule_wake(now)
+            return True
         cached = self._prefix_lookup(now, req)
         if (
             self.chunk_size is not None
@@ -937,6 +972,7 @@ class ServerInstance:
         victim.generated = 0  # recompute-style: KV dropped, re-prefill
         victim.prefilled = 0
         victim.cached_prefix = 0  # re-admission consults the index afresh
+        victim.kv_ready = False  # migrated KV dropped too: re-prefill here
         victim.preemptions += 1
         victim.queued_at = clock  # queue delay restarts at the requeue
         self._enqueue(victim)

@@ -176,6 +176,27 @@ class Telemetry:
             "verify-and-fallback re-decodes enqueued on a lossless instance",
             ("instance",),
         )
+        self.kv_transfers = r.counter(
+            "fleet_kv_transfers_total",
+            "prefill->decode KV migrations delivered",
+            ("instance", "link"),
+        )
+        self.kv_transfer_bytes = r.counter(
+            "fleet_kv_transfer_bytes_total",
+            "KV bytes moved prefill->decode", ("instance", "link"),
+        )
+        self.kv_transfer_seconds = r.counter(
+            "fleet_kv_transfer_seconds_total",
+            "interconnect seconds spent moving KV", ("instance", "link"),
+        )
+        self.scale_events = r.counter(
+            "fleet_scale_events_total",
+            "autoscaler pool-size changes", ("pool", "direction"),
+        )
+        self.pool_size = r.gauge(
+            "fleet_pool_size", "active instances per fleet pool",
+            ("pool",),
+        )
         self.trace_events = r.gauge(
             "serving_trace_events", "events held in the trace ring buffer",
             ("instance",),
@@ -319,6 +340,22 @@ class Telemetry:
             self.rerouted.inc_key(ik)
         elif k is EventType.FALLBACK:
             self.fallbacks.inc_key(ik)
+        elif k is EventType.KV_TRANSFER:
+            lk = (inst, str(d.get("link", "")))
+            self.kv_transfers.inc_key(lk)
+            nbytes = d.get("bytes")
+            if nbytes is not None:
+                self.kv_transfer_bytes.inc_key(lk, nbytes)
+            seconds = d.get("seconds")
+            if seconds is not None:
+                self.kv_transfer_seconds.inc_key(lk, seconds)
+        elif k is EventType.SCALE_UP or k is EventType.SCALE_DOWN:
+            pool = str(d.get("pool", ""))
+            direction = "up" if k is EventType.SCALE_UP else "down"
+            self.scale_events.inc_key((pool, direction))
+            size = d.get("size")
+            if size is not None:
+                self.pool_size.set_key((pool,), float(size))
 
     def on_decode_steps(
         self,

@@ -40,6 +40,16 @@ recorded as a typed :class:`TraceEvent`:
   being discarded — and ``refill``, the lossless response length of the
   re-decode; recorded on the fallback target under the *original*
   request id, at the original's finish time).
+- ``KV_TRANSFER``  — a disaggregated fleet migrated a finished prefill's
+  KV from a prefill-pool instance to a decode-pool instance (data:
+  ``bytes``, ``seconds`` — priced by
+  :func:`repro.hardware.interconnect.transfer_time` — plus ``tokens``
+  and the ``link`` name; recorded on the *receiving* decode instance at
+  the delivery instant).
+- ``SCALE_UP`` / ``SCALE_DOWN`` — the fleet autoscaler activated a
+  standby instance or started draining an active one (data: ``pool``,
+  ``size`` — the pool's active size after the action; recorded on the
+  affected instance at the control-loop tick).
 
 Storage is **columnar** (struct-of-arrays): :class:`Trace` keeps NumPy
 ring-buffer columns for ``time`` (float64), ``kind`` (uint8 code),
@@ -112,6 +122,9 @@ class EventType(str, enum.Enum):
     # so new members must only ever be added at the end
     REROUTE = "REROUTE"
     FALLBACK = "FALLBACK"
+    KV_TRANSFER = "KV_TRANSFER"
+    SCALE_UP = "SCALE_UP"
+    SCALE_DOWN = "SCALE_DOWN"
 
 
 #: fixed kind <-> uint8 code mapping for the kind column

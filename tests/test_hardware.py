@@ -8,13 +8,16 @@ from repro.hardware import (
     H800,
     A100_80G,
     AccessPattern,
+    InterconnectSpec,
     MemoryModel,
     NVLINK_A6000,
     NVLINK_H800,
     OpCost,
     OutOfMemoryError,
+    PCIE_GEN4,
     Roofline,
     allreduce_time,
+    transfer_time,
     get_gpu,
     list_gpus,
 )
@@ -228,3 +231,48 @@ class TestInterconnect:
     def test_negative_bytes_raises(self):
         with pytest.raises(ValueError):
             allreduce_time(NVLINK_A6000, -1, 2)
+
+    def test_group_size_validated(self):
+        with pytest.raises(ValueError):
+            allreduce_time(NVLINK_A6000, 1e6, 0)
+        with pytest.raises(ValueError):
+            allreduce_time(NVLINK_A6000, 1e6, -2)
+
+    def test_bad_bandwidth_rejected(self):
+        broken = InterconnectSpec(name="broken", link_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            allreduce_time(broken, 1e6, 4)
+        with pytest.raises(ValueError):
+            transfer_time(broken, 1e6)
+
+
+class TestInterconnectSpecTable:
+    """Pin the published link parameters the serving models price with."""
+
+    def test_spec_values(self):
+        assert NVLINK_A6000.link_bandwidth == pytest.approx(56.25e9)
+        assert NVLINK_A6000.latency == pytest.approx(12e-6)
+        assert NVLINK_H800.link_bandwidth == pytest.approx(200e9)
+        assert NVLINK_H800.latency == pytest.approx(9e-6)
+        assert PCIE_GEN4.link_bandwidth == pytest.approx(24e9)
+        assert PCIE_GEN4.latency == pytest.approx(25e-6)
+
+    def test_transfer_time_arithmetic(self):
+        nbytes = 1e9
+        for spec in (NVLINK_A6000, NVLINK_H800, PCIE_GEN4):
+            assert transfer_time(spec, nbytes) == pytest.approx(
+                spec.latency + nbytes / spec.link_bandwidth
+            )
+
+    def test_zero_bytes_pays_latency(self):
+        assert transfer_time(PCIE_GEN4, 0) == pytest.approx(PCIE_GEN4.latency)
+
+    def test_link_ordering(self):
+        # faster links move the same KV payload sooner
+        b = 1e8
+        assert transfer_time(NVLINK_H800, b) < transfer_time(NVLINK_A6000, b)
+        assert transfer_time(NVLINK_A6000, b) < transfer_time(PCIE_GEN4, b)
+
+    def test_negative_bytes_raises(self):
+        with pytest.raises(ValueError):
+            transfer_time(NVLINK_A6000, -1)
