@@ -44,6 +44,10 @@ def _unit(name: str) -> str:
     its dotted/bracketed name (section prefixes must not leak in)."""
     parts = name.lower().replace("]", ".").replace("[", ".").split(".")
     n = [p for p in parts if p][-1]
+    # replay rates come first: "events_per_second" must not fall into
+    # the wall-clock "s" bucket below
+    if "events_per_second" in n or "events_s" in n:
+        return "events/s"
     if "throughput" in n or "goodput" in n:
         return "tokens/s"
     if any(

@@ -20,6 +20,16 @@ https://ui.perfetto.dev).  ``dashboard`` serves the same stream with
 telemetry enabled and renders an ASCII dashboard — sparkline gauge
 series, latency histograms, SLO topline; ``--refresh S`` re-renders a
 frame every S simulated seconds while the run progresses.
+
+``replay`` rebuilds a recorded run from an exported JSONL trace
+(scenario + workload headers, written by ``disagg --export-trace`` or
+``trace --export jsonl``), re-serves it, and reports any drift in the
+folded ``StepMetrics`` — a deterministic build replays bit-for-bit.
+``analyze`` mines a recorded trace for anomalies (SLO-miss clusters,
+preemption storms, prefix cache-thrash, KV-transfer stalls, autoscaler
+flapping), clusters them into scored incidents, and with
+``--emit-tests DIR`` distills the top incident per detector into a
+standalone pytest regression case with a minimized workload.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from repro.experiments import (
     chunked_prefill,
     prefix_caching,
     serving_disagg,
+    serving_replay,
     serving_router,
     slo_admission,
     fig1_throughput,
@@ -62,6 +73,7 @@ _ANALYTIC = {
     "prefix": lambda scale: prefix_caching.run(),
     "router": lambda scale: serving_router.run(),
     "disagg": lambda scale: serving_disagg.run(),
+    "replay": lambda scale: serving_replay.run(),
 }
 
 _GENERATION = {
@@ -202,8 +214,20 @@ def run_trace(args) -> int:
         out_dir = args.out or pathlib.Path(".")
         out_dir.mkdir(parents=True, exist_ok=True)
         if fmt == "jsonl":
+            from repro.serving import instance_config, fleet_scenario, workload_specs
+
             path = out_dir / "trace.jsonl"
-            dump_jsonl(trace, path)
+            # embed scenario + workload headers so `repro.cli replay`
+            # can rebuild this exact run from the file alone
+            scenario = fleet_scenario(decode=[instance_config(
+                algo=args.algo, arch=args.arch, gpu=args.gpu,
+                engine=args.engine, max_batch=args.max_batch,
+                policy=args.policy, admission=args.admission,
+                chunk_size=args.chunk_size,
+                prefix_caching=args.prefix_caching,
+            )])
+            dump_jsonl(trace, path, scenario=scenario,
+                       workload=workload_specs(reqs))
         else:
             path = out_dir / "trace.chrome.json"
             write_chrome_trace(trace, path)
@@ -311,7 +335,12 @@ def run_disagg(args) -> int:
             "scale_ups", "scale_downs")
     print("  ".join(f"{c:>15s}" for c in cols))
     for kind in kinds:
-        r = serving_disagg.run_fleet(kind, args.rate_scale, specs)
+        export = args.export_trace if kind == "disagg" else None
+        if export is not None:
+            export.parent.mkdir(parents=True, exist_ok=True)
+        r = serving_disagg.run_fleet(
+            kind, args.rate_scale, specs, export_path=export
+        )
         cells = []
         for c in cols:
             v = r[c]
@@ -319,6 +348,68 @@ def run_disagg(args) -> int:
                 f"{v:>15.3f}" if isinstance(v, float) else f"{v!s:>15s}"
             )
         print("  ".join(cells))
+    if args.export_trace is not None:
+        print(f"[exported replayable trace -> {args.export_trace}]")
+    return 0
+
+
+def run_replay(args) -> int:
+    """Rebuild and re-serve a recorded run; report metric drift."""
+    from repro.serving import Telemetry, load_jsonl, replay_trace
+
+    trace = load_jsonl(args.path)
+    telemetry = Telemetry(labels={"source": args.path.name})
+    report = replay_trace(trace, routing=args.routing, telemetry=telemetry)
+    print(report.render())
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "replay.txt").write_text(report.render() + "\n")
+    if args.strict and not report.exact:
+        print(f"[strict] replay drifted on {len(report.drift)} field(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_analyze(args) -> int:
+    """Mine a recorded trace for anomalies; optionally emit regression
+    tests distilled from the highest-scoring incidents."""
+    from repro.serving import (
+        default_detectors,
+        emit_regression_tests,
+        load_jsonl,
+        make_detector,
+        mine,
+    )
+    from repro.serving.replay import extract_workload
+
+    trace = load_jsonl(args.path)
+    detectors = None
+    if args.detectors:
+        detectors = [make_detector(n) for n in args.detectors]
+    report = mine(trace, detectors=detectors, cluster_gap=args.cluster_gap)
+    print(report.render(limit=args.limit))
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "analyze.txt").write_text(
+            report.render(limit=args.limit) + "\n"
+        )
+    if args.emit_tests is not None:
+        scenario = trace.meta.get("scenario")
+        if scenario is None:
+            print("[emit-tests] trace has no scenario header; cannot "
+                  "rebuild the run for minimization", file=sys.stderr)
+            return 2
+        specs = extract_workload(trace).specs
+        written = emit_regression_tests(
+            report, scenario, specs, args.emit_tests,
+            min_score=args.min_score, max_tests=args.max_tests,
+            max_evals=args.max_evals,
+        )
+        for path in written:
+            print(f"[emitted regression test -> {path}]")
+        if not written:
+            print("[emit-tests] no incident survived minimization]")
     return 0
 
 
@@ -420,6 +511,63 @@ def main(argv=None) -> int:
     disaggp.add_argument("--baselines", action="store_true",
                          help="also serve the static monolithic fleets "
                               "for comparison")
+    disaggp.add_argument("--export-trace", type=pathlib.Path, default=None,
+                         help="export the disagg run as replayable JSONL "
+                              "(scenario + workload headers; feed to "
+                              "`repro.cli replay` / `repro.cli analyze`)")
+    replayp = sub.add_parser(
+        "replay",
+        help="rebuild a recorded run from an exported JSONL trace, "
+             "re-serve it, and report StepMetrics drift",
+    )
+    replayp.add_argument("path", type=pathlib.Path,
+                         help="JSONL trace with a scenario header "
+                              "(see `disagg --export-trace` / "
+                              "`trace --export jsonl`)")
+    replayp.add_argument("--routing", default="recorded",
+                         choices=["recorded", "live"],
+                         help="'recorded' pins every request to the "
+                              "instance it ran on; 'live' re-routes "
+                              "through the fleet's picker")
+    replayp.add_argument("--strict", action="store_true",
+                         help="exit nonzero if the replayed metrics "
+                              "drift from the recording")
+    replayp.add_argument("--out", type=pathlib.Path, default=None,
+                         help="also write the replay report to this "
+                              "directory")
+    analyzep = sub.add_parser(
+        "analyze",
+        help="mine a recorded trace for anomalies (SLO-miss clusters, "
+             "preemption storms, KV-transfer stalls, prefix thrash, "
+             "autoscaler flapping); optionally emit regression tests",
+    )
+    analyzep.add_argument("path", type=pathlib.Path,
+                          help="JSONL trace to mine")
+    from repro.serving.mining import DETECTORS
+
+    analyzep.add_argument("--detectors", action="append", default=None,
+                          choices=sorted(DETECTORS),
+                          help="run only these detectors (repeatable; "
+                               "default: all)")
+    analyzep.add_argument("--cluster-gap", type=float, default=2.0,
+                          help="max seconds between anomalies merged "
+                               "into one incident")
+    analyzep.add_argument("--limit", type=int, default=None,
+                          help="cap the number of incidents printed")
+    analyzep.add_argument("--emit-tests", type=pathlib.Path, default=None,
+                          help="distill the top incident per detector "
+                               "into a pytest file under this directory "
+                               "(requires a scenario header)")
+    analyzep.add_argument("--min-score", type=float, default=0.0,
+                          help="skip incidents scoring below this")
+    analyzep.add_argument("--max-tests", type=int, default=5,
+                          help="cap on emitted test files")
+    analyzep.add_argument("--max-evals", type=int, default=48,
+                          help="re-simulation budget for workload "
+                               "minimization per emitted test")
+    analyzep.add_argument("--out", type=pathlib.Path, default=None,
+                          help="also write the mining report to this "
+                               "directory")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
@@ -430,6 +578,10 @@ def main(argv=None) -> int:
         return run_route(args)
     if args.command == "disagg":
         return run_disagg(args)
+    if args.command == "replay":
+        return run_replay(args)
+    if args.command == "analyze":
+        return run_analyze(args)
 
     if args.command == "list":
         scale = current_scale()

@@ -159,6 +159,30 @@ def build_fleet(kind: str) -> DisaggFleet:
     raise ValueError(f"unknown fleet kind {kind!r}")
 
 
+def scenario_config(kind: str) -> Dict[str, object]:
+    """Replay scenario config reproducing :func:`build_fleet` exactly.
+
+    ``repro.serving.replay.build_scenario`` on this dict constructs the
+    same fleet ``build_fleet(kind)`` does, so an exported trace of a
+    run here replays bit-for-bit (pinned by ``tests/test_replay.py``).
+    """
+    from repro.serving.replay import fleet_scenario
+
+    inst = dict(algo=ALGO, max_batch=MAX_BATCH)
+    if kind.startswith("static-"):
+        n = int(kind.split("-")[1])
+        return fleet_scenario(decode=[inst] * n)
+    if kind == "disagg":
+        return fleet_scenario(
+            decode=[inst] * DECODE_POOL,
+            prefill=[inst] * PREFILL_POOL,
+            prefill_active=PREFILL_ACTIVE,
+            decode_active=DECODE_ACTIVE,
+            autoscaler=AUTOSCALER,
+        )
+    raise ValueError(f"unknown fleet kind {kind!r}")
+
+
 # ----------------------------------------------------------------------
 # one run -> one row
 # ----------------------------------------------------------------------
@@ -166,10 +190,23 @@ def run_fleet(
     kind: str,
     rate_scale: float,
     specs: Sequence[Tuple[str, float, int, int]],
+    export_path: Optional[str] = None,
 ) -> Dict[str, float]:
     fleet = build_fleet(kind)
     trace = Trace()
-    result = fleet.serve(make_requests(specs), trace=trace)
+    requests = make_requests(specs)
+    result = fleet.serve(requests, trace=trace)
+    if export_path is not None:
+        from repro.serving import dump_jsonl
+        from repro.serving.replay import workload_specs
+
+        # shape fields are immutable during a run, so the post-run
+        # requests still describe the pre-run workload exactly
+        dump_jsonl(
+            trace, export_path,
+            scenario=scenario_config(kind),
+            workload=workload_specs(requests),
+        )
     metrics = StepMetrics.from_trace(trace)
     done = result.completed
     ttfts = [r.ttft for r in done if r.first_token is not None]

@@ -192,6 +192,11 @@ class StepMetrics:
     finishes: int
     prefill_chunks: int
     partial_requests: int
+    #: events the recording itself shed (a bounded ring-buffer trace
+    #: dropping its oldest quarter, surfaced by the JSONL metadata
+    #: header on round-trip) — nonzero means every count above is a
+    #: floor over an incomplete window, not a full-run total
+    dropped_events: int
     #: router decisions recorded into the trace by the ``compression``
     #: policy: risk-gate denials and verify-and-fallback re-enqueues
     reroutes: int
@@ -418,6 +423,7 @@ class StepMetrics:
             finishes=n_finishes_all,
             prefill_chunks=len(trace.rows_of(EventType.PREFILL_CHUNK)),
             partial_requests=partial,
+            dropped_events=int(getattr(trace, "dropped_events", 0) or 0),
             reroutes=len(trace.rows_of(EventType.REROUTE)),
             fallbacks=len(trace.rows_of(EventType.FALLBACK)),
             kv_transfers=len(xfer_rows),
@@ -531,6 +537,7 @@ class StepMetrics:
             finishes=len(all_finishes),
             prefill_chunks=len(trace.of_kind(EventType.PREFILL_CHUNK)),
             partial_requests=len(partial),
+            dropped_events=int(getattr(trace, "dropped_events", 0) or 0),
             reroutes=len(trace.of_kind(EventType.REROUTE)),
             fallbacks=len(trace.of_kind(EventType.FALLBACK)),
             kv_transfers=len(xfers),
@@ -582,6 +589,7 @@ class StepMetrics:
             "finishes": self.finishes,
             "prefill_chunks": self.prefill_chunks,
             "partial_requests": self.partial_requests,
+            "dropped_events": self.dropped_events,
             "reroutes": self.reroutes,
             "fallbacks": self.fallbacks,
             "kv_transfers": self.kv_transfers,

@@ -243,6 +243,19 @@ class Telemetry:
             "kvstore_cached_block_evictions_total",
             "retained blocks reclaimed on demand",
         )
+        self.replay_drift = r.gauge(
+            "replay_drift_fields",
+            "StepMetrics fields differing between a recorded trace and "
+            "its replay (0 = exact reproduction)",
+        )
+        self.mined_anomalies = r.counter(
+            "mining_anomalies_total",
+            "anomalies flagged by trace-mining detectors", ("detector",),
+        )
+        self.mined_incidents = r.counter(
+            "mining_incidents_total",
+            "clustered incidents reported by trace mining", ("detector",),
+        )
         #: dashboard time series: (instance, metric) -> [(t, value), ...]
         self.series: Dict[SeriesKey, List[Tuple[float, float]]] = {}
         self._loop_tick = 0

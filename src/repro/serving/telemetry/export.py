@@ -6,8 +6,31 @@ loss-free (:func:`load_jsonl` rebuilds a :class:`Trace` whose
 round-trip through ``json`` by value), and tolerant of truncation (a
 half-written final line is skipped, and the partial-trace-aware folds
 report the requests it cut off instead of crashing).  That makes traces
-replayable artifacts: tests and offline analysis recompute every
-serving metric from a file.
+replayable artifacts: tests, offline analysis, and the
+:mod:`repro.serving.replay` harness recompute every serving metric —
+or re-run the whole workload — from a file.
+
+Two refinements over the naive per-event loop:
+
+- **Metadata header.**  A dump may open with one header line,
+  ``{"__trace_meta__": {"schema": 1, ...}}``, carrying what the event
+  stream itself cannot: the recording's ring-buffer truncation
+  (``dropped_events`` / ``max_events`` — a bounded trace that shed its
+  oldest quarter must not round-trip as a complete run), and optionally
+  the ``scenario`` config and ``workload`` specs the replay harness
+  uses to re-run the recording.  The header is *optional* and only
+  written when there is something to say (truncation happened, a bound
+  was set, or the caller passed context), so plain unbounded dumps stay
+  byte-for-byte what they always were.  ``load_jsonl`` surfaces it as
+  ``trace.meta`` and restores ``trace.dropped_events``, which the
+  metrics folds and the anomaly miner report instead of silently
+  treating a truncated trace as a full run.
+- **Columnar streaming.**  Dumping a columnar :class:`Trace` walks the
+  NumPy columns directly — signature-resolved payload keys, one reused
+  dict per line — instead of materializing (and permanently caching)
+  a :class:`TraceEvent` per row, which defeated the columnar memory
+  win on export-heavy runs.  Output bytes are identical to the object
+  path (pinned by the equivalence suite).
 
 The Chrome exporter emits the ``trace_event`` JSON object format
 (``{"traceEvents": [...]}``) so a *simulated* serving run opens in
@@ -24,14 +47,28 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.serving.telemetry.spans import Span, build_spans
-from repro.serving.trace import EventType, Trace, TraceEvent
+from repro.serving.trace import (
+    _BOOL,
+    _FLOAT,
+    _INT,
+    _OBJ,
+    KINDS,
+    EventType,
+    Trace,
+    TraceEvent,
+)
 
 PathLike = Union[str, pathlib.Path]
 
 _US = 1e6  # trace_event timestamps are microseconds
+
+#: reserved top-level key marking the optional JSONL header line
+META_KEY = "__trace_meta__"
+#: header schema version (bump when header fields change shape)
+META_SCHEMA = 1
 
 
 def event_to_obj(e: TraceEvent) -> dict:
@@ -45,13 +82,114 @@ def event_to_obj(e: TraceEvent) -> dict:
     }
 
 
-def dump_jsonl(trace: Trace, path: PathLike) -> int:
-    """Write ``trace`` as JSON-lines; returns the event count."""
+def _header(trace, scenario, workload, meta) -> Optional[dict]:
+    """The optional metadata header, or ``None`` when a plain dump
+    (complete, unbounded, context-free) should stay header-less."""
+    dropped = int(getattr(trace, "dropped_events", 0) or 0)
+    max_events = getattr(trace, "max_events", None)
+    if not (dropped or max_events is not None or scenario is not None
+            or workload is not None or meta):
+        return None
+    head: Dict[str, object] = {
+        "schema": META_SCHEMA,
+        "events": len(trace),
+        "dropped_events": dropped,
+        "max_events": max_events,
+    }
+    if scenario is not None:
+        head["scenario"] = scenario
+    if workload is not None:
+        head["workload"] = list(workload)
+    if meta:
+        head.update(meta)
+    return {META_KEY: head}
+
+
+def _iter_jsonl(trace: Trace) -> Iterator[str]:
+    """One JSON line per event, streamed straight off the columns.
+
+    Byte-for-byte what ``json.dumps(event_to_obj(e))`` produces, but
+    without building (and caching) a :class:`TraceEvent` per row: the
+    columns are unboxed to plain Python lists once, payload keys come
+    from the interned signatures, and each line reuses one dict.
+    """
+    n = len(trace)
+    kind_names = [k.value for k in KINDS]
+    times = trace._time[:n].tolist()
+    kinds = trace._kind[:n].tolist()
+    reqs = trace._req[:n].tolist()
+    insts = trace._inst[:n].tolist()
+    sigs = trace._sig[:n].tolist()
+    req_names = trace._req_names
+    inst_names = trace._inst_names
+    signatures = trace._sigs
+    cols = {
+        key: (col.values[:n].tolist(), col.tags[:n].tolist())
+        for key, col in trace._cols.items()
+    }
+    objs = trace._obj
+    for i in range(n):
+        data: Dict[str, object] = {}
+        for key in signatures[sigs[i]]:
+            values, tags = cols[key]
+            tag = tags[i]
+            if tag == _FLOAT:
+                data[key] = values[i]
+            elif tag == _INT:
+                data[key] = int(values[i])
+            elif tag == _BOOL:
+                data[key] = bool(values[i])
+            elif tag == _OBJ:
+                data[key] = objs[(i, key)]
+            # _ABSENT: key recorded for other events only; skip
+        yield json.dumps(
+            {
+                "time": times[i],
+                "kind": kind_names[kinds[i]],
+                "request_id": req_names[reqs[i]],
+                "instance": inst_names[insts[i]],
+                "data": data,
+            }
+        )
+
+
+def dump_jsonl(
+    trace,
+    path: PathLike,
+    scenario: Optional[dict] = None,
+    workload: Optional[List[dict]] = None,
+    meta: Optional[dict] = None,
+) -> int:
+    """Write ``trace`` as JSON-lines; returns the event count.
+
+    ``scenario`` / ``workload`` / ``meta`` land in the optional header
+    line (see the module docstring) together with the trace's
+    ring-buffer truncation state; a complete unbounded trace dumped
+    without context stays header-less, bytes identical to the legacy
+    format.  Columnar traces stream straight from the columns; anything
+    else (e.g. :class:`~repro.serving.trace.ObjectTrace`) takes the
+    per-event path.
+    """
     path = pathlib.Path(path)
+    head = _header(trace, scenario, workload, meta)
+    if isinstance(trace, Trace):
+        lines: Iterator[str] = _iter_jsonl(trace)
+    else:
+        lines = (json.dumps(event_to_obj(e)) for e in trace.events)
+    count = 0
     with path.open("w") as fp:
-        for e in trace.events:
-            fp.write(json.dumps(event_to_obj(e)) + "\n")
-    return len(trace.events)
+        if head is not None:
+            fp.write(json.dumps(head) + "\n")
+        batch: List[str] = []
+        for line in lines:
+            batch.append(line)
+            count += 1
+            if len(batch) >= 4096:
+                fp.write("\n".join(batch) + "\n")
+                batch.clear()
+        if batch:
+            fp.write("\n".join(batch) + "\n")
+    return count
 
 
 def load_jsonl(path: PathLike) -> Trace:
@@ -60,6 +198,13 @@ def load_jsonl(path: PathLike) -> Trace:
     Corrupt lines (e.g. the half-written tail of a dump truncated
     mid-run) are skipped, not fatal — the partial-trace-tolerant folds
     downstream account for the requests they cut off.
+
+    A metadata header line, when present, is surfaced as ``trace.meta``
+    and its ``dropped_events`` restored onto the rebuilt trace, so a
+    bounded recording that shed events no longer round-trips as if it
+    were a complete run (``StepMetrics.from_trace`` reports it via
+    ``dropped_events`` and the anomaly miner flags the trace partial).
+    The rebuilt trace itself is unbounded — loading never re-sheds.
     """
     trace = Trace()
     path = pathlib.Path(path)
@@ -70,6 +215,20 @@ def load_jsonl(path: PathLike) -> Trace:
                 continue
             try:
                 obj = json.loads(line)
+            except ValueError:
+                continue  # truncated / corrupt line
+            if isinstance(obj, dict) and META_KEY in obj:
+                head = obj[META_KEY]
+                if isinstance(head, dict) and not trace.meta:
+                    trace.meta = dict(head)
+                    try:
+                        trace.dropped_events = int(
+                            head.get("dropped_events", 0) or 0
+                        )
+                    except (TypeError, ValueError):
+                        pass
+                continue
+            try:
                 kind = EventType(obj["kind"])
                 time = float(obj["time"])
             except (ValueError, KeyError, TypeError):

@@ -259,6 +259,11 @@ class Trace:
         self._n = 0
         self.max_events = max_events
         self.dropped_events = 0
+        #: sidecar metadata (filled by ``load_jsonl`` from a trace
+        #: export's header line: schema version, the recording's
+        #: ``dropped_events`` / ``max_events``, and optionally the
+        #: scenario config + workload the replay harness consumes)
+        self.meta: Dict[str, object] = {}
         self._time = np.zeros(capacity, dtype=np.float64)
         self._kind = np.zeros(capacity, dtype=np.uint8)
         self._req = np.zeros(capacity, dtype=np.int32)

@@ -1,0 +1,10 @@
+"""Auto-mined regression tests.
+
+Each ``test_mined_*.py`` file here was distilled from a recorded
+serving trace by ``python -m repro.cli analyze --emit-tests`` (see
+``repro.serving.mining.emit_regression_tests``): the anomaly miner
+flagged an incident, the workload was minimized down to the smallest
+recorded subset that still fires the detector, and the scenario plus
+that subset were frozen into a standalone pytest case.  Regenerate
+from a fresh trace rather than editing by hand.
+"""

@@ -36,7 +36,7 @@ class TestCLI:
         expected = {
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
             "table3", "table4", "table5", "table6", "table7", "table8",
-            "chunked", "slo", "prefix", "router", "disagg",
+            "chunked", "slo", "prefix", "router", "disagg", "replay",
         }
         assert expected == set(EXPERIMENTS)
 
